@@ -1,0 +1,111 @@
+//! `(key, value)` pairs ordered by key.
+
+use crate::key::{KeyType, ValueType};
+
+/// A `(key, value)` pair. Ordering (and therefore heap priority) is by
+/// `key` only; `value` is an opaque payload carried alongside, matching
+/// the paper's ADT where "the priority is associated with the key"
+/// (§2.1).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Entry<K, V> {
+    pub key: K,
+    pub value: V,
+}
+
+impl<K: KeyType, V: ValueType> Entry<K, V> {
+    #[inline]
+    pub fn new(key: K, value: V) -> Self {
+        Self { key, value }
+    }
+
+    /// The padding sentinel: key = `K::MAX_KEY`, default value. Sentinels
+    /// compare greater than (or equal to) every real entry, so padded
+    /// lanes sort to the tail of a batch exactly like `+inf` pads in the
+    /// CUDA bitonic-sort tiles.
+    #[inline]
+    pub fn sentinel() -> Self {
+        Self { key: K::MAX_KEY, value: V::default() }
+    }
+
+    /// True if this entry is the padding sentinel by key comparison.
+    ///
+    /// Note: a *real* entry whose key happens to equal `K::MAX_KEY` is
+    /// indistinguishable from padding; the heap therefore documents that
+    /// `K::MAX_KEY` is reserved (the paper's implementation has the same
+    /// restriction: CBPQ's 30-bit keys leave headroom in a 32-bit word).
+    #[inline]
+    pub fn is_sentinel(&self) -> bool {
+        self.key == K::MAX_KEY
+    }
+}
+
+impl<K: KeyType, V: ValueType> PartialEq for Entry<K, V> {
+    #[inline]
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key
+    }
+}
+
+impl<K: KeyType, V: ValueType> Eq for Entry<K, V> {}
+
+impl<K: KeyType, V: ValueType> PartialOrd for Entry<K, V> {
+    #[inline]
+    fn partial_cmp(&self, other: &Self) -> Option<core::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<K: KeyType, V: ValueType> Ord for Entry<K, V> {
+    #[inline]
+    fn cmp(&self, other: &Self) -> core::cmp::Ordering {
+        self.key.cmp(&other.key)
+    }
+}
+
+impl<K: KeyType, V: ValueType> From<(K, V)> for Entry<K, V> {
+    #[inline]
+    fn from((key, value): (K, V)) -> Self {
+        Self { key, value }
+    }
+}
+
+/// Convenience constructor for keys carrying no payload.
+impl<K: KeyType> From<K> for Entry<K, ()> {
+    #[inline]
+    fn from(key: K) -> Self {
+        Self { key, value: () }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_is_by_key_only() {
+        let a = Entry::new(1u32, 99u64);
+        let b = Entry::new(2u32, 0u64);
+        let c = Entry::new(1u32, 0u64);
+        assert!(a < b);
+        assert_eq!(a, c);
+        assert_eq!(a.cmp(&c), core::cmp::Ordering::Equal);
+    }
+
+    #[test]
+    fn sentinel_sorts_last() {
+        let mut v = [Entry::<u32, ()>::sentinel(), Entry::new(5u32, ()), Entry::new(0u32, ())];
+        v.sort();
+        assert_eq!(v[0].key, 0);
+        assert_eq!(v[1].key, 5);
+        assert!(v[2].is_sentinel());
+    }
+
+    #[test]
+    fn from_tuple_and_key() {
+        let e: Entry<u32, u8> = (3u32, 7u8).into();
+        assert_eq!(e.key, 3);
+        assert_eq!(e.value, 7);
+        let e2: Entry<u32, ()> = 9u32.into();
+        assert_eq!(e2.key, 9);
+    }
+}

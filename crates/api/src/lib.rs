@@ -1,0 +1,30 @@
+//! # pq-api — shared vocabulary for the BGPQ reproduction
+//!
+//! This crate defines the types and traits every other crate in the
+//! workspace speaks:
+//!
+//! * [`KeyType`] / [`ValueType`] — bounds for priority-queue keys and
+//!   payloads (keys are totally ordered `Copy` scalars, as in the paper,
+//!   which evaluates 30/32-bit integer keys carrying a value payload).
+//! * [`Entry`] — a `(key, value)` pair ordered by key.
+//! * [`PriorityQueue`] — the classical single-item concurrent priority
+//!   queue ADT (`INSERT`, `DELETEMIN`) implemented by all CPU baselines.
+//! * [`BatchPriorityQueue`] — the batched ADT BGPQ exposes: insert **1..=k**
+//!   items and delete the **1..=k** smallest items per call (§3.2 of the
+//!   paper). Every [`PriorityQueue`] is trivially a [`BatchPriorityQueue`]
+//!   via [`ItemwiseBatch`].
+//! * [`OpStats`] — cheap atomic operation counters shared by all
+//!   implementations so the bench harness can report contention metrics.
+//!
+//! The crate is dependency-free so that substrates (simulator, baselines)
+//! can depend on it without pulling anything else in.
+
+pub mod entry;
+pub mod key;
+pub mod pq;
+pub mod stats;
+
+pub use entry::Entry;
+pub use key::{KeyType, ValueType};
+pub use pq::{BatchPriorityQueue, ItemwiseBatch, PriorityQueue, QueueFactory};
+pub use stats::OpStats;

@@ -1,0 +1,161 @@
+//! Lightweight operation counters.
+//!
+//! Every queue implementation exposes an [`OpStats`] so the bench harness
+//! can report *why* a design is fast or slow: how many heapify walks were
+//! avoided by the partial buffer, how often delete-min was served straight
+//! from the root cache, how often the TARGET/MARKED collaboration fired —
+//! the mechanisms §4.3 of the paper credits for BGPQ's performance.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Atomic counters. All increments are `Relaxed`: these are statistics,
+/// not synchronization.
+#[derive(Debug, Default)]
+pub struct OpStats {
+    /// Completed INSERT operations.
+    pub inserts: AtomicU64,
+    /// Completed DELETEMIN operations.
+    pub delete_mins: AtomicU64,
+    /// Items moved by INSERTs (batch sizes summed).
+    pub items_inserted: AtomicU64,
+    /// Items returned by DELETEMINs.
+    pub items_deleted: AtomicU64,
+    /// INSERTs fully absorbed by root + partial buffer (no heapify).
+    pub inserts_buffered: AtomicU64,
+    /// Full insert-heapify walks (buffer overflow path).
+    pub insert_heapifies: AtomicU64,
+    /// DELETEMINs served entirely from the root node (no heapify).
+    pub deletes_from_root: AtomicU64,
+    /// Full delete-heapify walks (root refill path).
+    pub delete_heapifies: AtomicU64,
+    /// TARGET/MARKED collaborations: a delete stole an in-flight
+    /// insertion's keys to refill the root.
+    pub collaborations: AtomicU64,
+    /// Lock acquisitions (when the implementation counts them).
+    pub lock_acquisitions: AtomicU64,
+    /// Failed first lock attempts, i.e. contention events.
+    pub lock_contended: AtomicU64,
+}
+
+impl OpStats {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    #[inline]
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Snapshot all counters (for printing / assertions).
+    pub fn snapshot(&self) -> StatsSnapshot {
+        let ld = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        StatsSnapshot {
+            inserts: ld(&self.inserts),
+            delete_mins: ld(&self.delete_mins),
+            items_inserted: ld(&self.items_inserted),
+            items_deleted: ld(&self.items_deleted),
+            inserts_buffered: ld(&self.inserts_buffered),
+            insert_heapifies: ld(&self.insert_heapifies),
+            deletes_from_root: ld(&self.deletes_from_root),
+            delete_heapifies: ld(&self.delete_heapifies),
+            collaborations: ld(&self.collaborations),
+            lock_acquisitions: ld(&self.lock_acquisitions),
+            lock_contended: ld(&self.lock_contended),
+        }
+    }
+
+    /// Reset all counters to zero (between bench trials).
+    pub fn reset(&self) {
+        let st = |c: &AtomicU64| c.store(0, Ordering::Relaxed);
+        st(&self.inserts);
+        st(&self.delete_mins);
+        st(&self.items_inserted);
+        st(&self.items_deleted);
+        st(&self.inserts_buffered);
+        st(&self.insert_heapifies);
+        st(&self.deletes_from_root);
+        st(&self.delete_heapifies);
+        st(&self.collaborations);
+        st(&self.lock_acquisitions);
+        st(&self.lock_contended);
+    }
+}
+
+/// Plain-data snapshot of [`OpStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StatsSnapshot {
+    pub inserts: u64,
+    pub delete_mins: u64,
+    pub items_inserted: u64,
+    pub items_deleted: u64,
+    pub inserts_buffered: u64,
+    pub insert_heapifies: u64,
+    pub deletes_from_root: u64,
+    pub delete_heapifies: u64,
+    pub collaborations: u64,
+    pub lock_acquisitions: u64,
+    pub lock_contended: u64,
+}
+
+impl StatsSnapshot {
+    /// Fraction of inserts that avoided a heapify — the partial-buffer
+    /// batching win the paper describes in §4.3.
+    pub fn insert_buffer_hit_rate(&self) -> f64 {
+        if self.inserts == 0 {
+            return 0.0;
+        }
+        self.inserts_buffered as f64 / self.inserts as f64
+    }
+
+    /// Fraction of delete-mins served straight from the root.
+    pub fn delete_root_hit_rate(&self) -> f64 {
+        if self.delete_mins == 0 {
+            return 0.0;
+        }
+        self.deletes_from_root as f64 / self.delete_mins as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_reset() {
+        let s = OpStats::new();
+        OpStats::bump(&s.inserts);
+        OpStats::bump(&s.inserts);
+        OpStats::add(&s.items_inserted, 17);
+        let snap = s.snapshot();
+        assert_eq!(snap.inserts, 2);
+        assert_eq!(snap.items_inserted, 17);
+        s.reset();
+        assert_eq!(s.snapshot(), StatsSnapshot::default());
+    }
+
+    #[test]
+    fn rates() {
+        let snap = StatsSnapshot {
+            inserts: 10,
+            inserts_buffered: 9,
+            delete_mins: 4,
+            deletes_from_root: 1,
+            ..Default::default()
+        };
+        assert!((snap.insert_buffer_hit_rate() - 0.9).abs() < 1e-12);
+        assert!((snap.delete_root_hit_rate() - 0.25).abs() < 1e-12);
+        assert_eq!(StatsSnapshot::default().insert_buffer_hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn stats_are_send_sync() {
+        fn assert_ss<T: Send + Sync>() {}
+        assert_ss::<OpStats>();
+    }
+}

@@ -1,0 +1,36 @@
+//! Criterion wrapper around the Figure 6 sweeps: each benchmark runs
+//! one simulator configuration end-to-end (wall time here measures the
+//! simulator; the *simulated* milliseconds that reproduce the figure
+//! come from the `fig6` binary, which prints and CSVs the full sweep).
+
+use bench::sim::bgpq_sim_insdel;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gpu_sim::GpuConfig;
+use workloads::{generate_keys, KeyDist};
+
+fn bench_capacity_sweep(c: &mut Criterion) {
+    let keys = generate_keys(1 << 14, KeyDist::Random, 21);
+    let mut g = c.benchmark_group("fig6a_capacity");
+    g.sample_size(10);
+    for k in [128usize, 512, 1024] {
+        g.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| bgpq_sim_insdel(GpuConfig::new(8, 512), k, &keys));
+        });
+    }
+    g.finish();
+}
+
+fn bench_block_sweep(c: &mut Criterion) {
+    let keys = generate_keys(1 << 14, KeyDist::Random, 22);
+    let mut g = c.benchmark_group("fig6c_blocks");
+    g.sample_size(10);
+    for blocks in [1usize, 8, 32] {
+        g.bench_with_input(BenchmarkId::from_parameter(blocks), &blocks, |b, &blocks| {
+            b.iter(|| bgpq_sim_insdel(GpuConfig::new(blocks, 512), 1024, &keys));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_capacity_sweep, bench_block_sweep);
+criterion_main!(benches);

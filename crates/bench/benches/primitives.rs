@@ -1,0 +1,87 @@
+//! Criterion micro-benchmarks of the data-parallel primitives BGPQ is
+//! built from (§4): the bitonic sorting network, the merge-path merge,
+//! and `SORT_SPLIT`.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use primitives::{bitonic_sort, merge_into, parallel_merge, sort_split_full};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_vec(n: usize, seed: u64) -> Vec<u32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen()).collect()
+}
+
+fn sorted_vec(n: usize, seed: u64) -> Vec<u32> {
+    let mut v = random_vec(n, seed);
+    v.sort_unstable();
+    v
+}
+
+fn bench_bitonic(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bitonic_sort");
+    for n in [256usize, 1024, 4096] {
+        let input = random_vec(n, 1);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter_batched(
+                || input.clone(),
+                |mut v| bitonic_sort(black_box(&mut v)),
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("std_sort_reference");
+    {
+        let n = 1024usize;
+        let input = random_vec(n, 1);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter_batched(
+                || input.clone(),
+                |mut v| v.sort_unstable(),
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+    g.finish();
+}
+
+fn bench_merge(c: &mut Criterion) {
+    let mut g = c.benchmark_group("merge_path");
+    for n in [1024usize, 4096] {
+        let a = sorted_vec(n, 2);
+        let b_in = sorted_vec(n, 3);
+        g.bench_with_input(BenchmarkId::new("sequential", n), &n, |b, _| {
+            let mut out = vec![0u32; 2 * n];
+            b.iter(|| merge_into(black_box(&a), black_box(&b_in), &mut out));
+        });
+        g.bench_with_input(BenchmarkId::new("partitioned_128", n), &n, |b, _| {
+            let mut out = vec![0u32; 2 * n];
+            b.iter(|| parallel_merge(black_box(&a), black_box(&b_in), &mut out, 128));
+        });
+    }
+    g.finish();
+}
+
+fn bench_sort_split(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sort_split");
+    for n in [256usize, 1024] {
+        let a = sorted_vec(n, 4);
+        let b_in = sorted_vec(n, 5);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |bch, _| {
+            let mut scratch = Vec::new();
+            bch.iter_batched(
+                || (a.clone(), b_in.clone()),
+                |(mut x, mut y)| {
+                    sort_split_full(black_box(&mut x), black_box(&mut y), &mut scratch)
+                },
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_bitonic, bench_merge, bench_sort_split);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Criterion throughput comparison of every queue implementation
+//! (single-threaded wall clock: per-op cost of the data structures
+//! themselves; the contended comparisons live in `table2`/`fig6`).
+
+use bench::cpu::{build_queue, QueueKind};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pq_api::Entry;
+use workloads::{generate_keys, KeyDist};
+
+fn bench_insert_then_drain(c: &mut Criterion) {
+    let n = 16_384usize;
+    let batch = 256usize;
+    let keys = generate_keys(n, KeyDist::Random, 11);
+    let mut g = c.benchmark_group("insdel_single_thread");
+    g.throughput(Throughput::Elements(2 * n as u64));
+    g.sample_size(10);
+    for kind in QueueKind::TABLE2 {
+        g.bench_with_input(BenchmarkId::from_parameter(kind.label()), &kind, |b, &kind| {
+            b.iter(|| {
+                let q = build_queue::<u32, ()>(kind, n, batch, 1);
+                let mut items = Vec::with_capacity(batch);
+                for chunk in keys.chunks(batch) {
+                    items.clear();
+                    items.extend(chunk.iter().map(|&k| Entry::new(k, ())));
+                    q.insert_batch(&items);
+                }
+                let mut out = Vec::with_capacity(batch);
+                while q.delete_min_batch(&mut out, batch) > 0 {
+                    out.clear();
+                }
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_mixed_pairs(c: &mut Criterion) {
+    let pairs = 4_096usize;
+    let batch = 64usize;
+    let keys = generate_keys(pairs * batch, KeyDist::Random, 13);
+    let mut g = c.benchmark_group("pairs_single_thread");
+    g.throughput(Throughput::Elements((pairs * batch * 2) as u64));
+    g.sample_size(10);
+    for kind in QueueKind::TABLE2 {
+        g.bench_with_input(BenchmarkId::from_parameter(kind.label()), &kind, |b, &kind| {
+            b.iter(|| {
+                let q = build_queue::<u32, ()>(kind, keys.len(), batch, 1);
+                let mut items = Vec::with_capacity(batch);
+                let mut out = Vec::with_capacity(batch);
+                for chunk in keys.chunks(batch) {
+                    items.clear();
+                    items.extend(chunk.iter().map(|&k| Entry::new(k, ())));
+                    q.insert_batch(&items);
+                    out.clear();
+                    q.delete_min_batch(&mut out, chunk.len());
+                }
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_insert_then_drain, bench_mixed_pairs);
+criterion_main!(benches);

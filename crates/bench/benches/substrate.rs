@@ -1,0 +1,99 @@
+//! Criterion benchmarks of the substrates themselves: the virtual-time
+//! scheduler's event throughput (the cost of simulating), the P-Sync
+//! pipeline, and the SSSP application driver.
+
+use apps::{solve_sssp, SsspNode};
+use bench::cpu::{build_queue, QueueKind};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gpu_sim::{launch, GpuConfig, Scheduler};
+use workloads::{Graph, GraphSpec};
+
+/// Raw scheduler event throughput: how many advance/lock events per
+/// second the DES core sustains (the practical limit on simulation
+/// scale).
+fn bench_scheduler_events(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_scheduler");
+    g.sample_size(10);
+    for agents in [2usize, 8, 32] {
+        let events_per_agent = 2_000usize;
+        g.throughput(Throughput::Elements((agents * events_per_agent) as u64));
+        g.bench_with_input(BenchmarkId::new("advance", agents), &agents, |b, &agents| {
+            b.iter(|| {
+                let sched = Scheduler::new(agents);
+                std::thread::scope(|s| {
+                    for id in 0..agents {
+                        let mut w = sched.worker(id);
+                        s.spawn(move || {
+                            w.begin();
+                            for i in 0..events_per_agent {
+                                w.advance((i % 7 + 1) as u64);
+                            }
+                            w.finish();
+                        });
+                    }
+                });
+                sched.makespan()
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("contended_lock", agents), &agents, |b, &agents| {
+            b.iter(|| {
+                let sched = Scheduler::new(agents);
+                let l = sched.create_locks(1);
+                std::thread::scope(|s| {
+                    for id in 0..agents {
+                        let mut w = sched.worker(id);
+                        s.spawn(move || {
+                            w.begin();
+                            for _ in 0..events_per_agent / 4 {
+                                w.lock(l, 5);
+                                w.advance(3);
+                                w.unlock(l, 5);
+                            }
+                            w.finish();
+                        });
+                    }
+                });
+                sched.makespan()
+            });
+        });
+    }
+    g.finish();
+}
+
+/// One full simulated BGPQ kernel per iteration (mixes everything:
+/// dispatch, locks, charges, data movement).
+fn bench_sim_kernel(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_kernel_wall_cost");
+    g.sample_size(10);
+    g.bench_function("bgpq_16k_keys_8_blocks", |b| {
+        let keys = workloads::generate_keys(1 << 14, workloads::KeyDist::Random, 3);
+        b.iter(|| bench::sim::bgpq_sim_insdel(GpuConfig::new(8, 512), 1024, &keys));
+    });
+    g.bench_function("empty_launch_128_blocks", |b| {
+        b.iter(|| launch(GpuConfig::new(128, 512), |_s| (), |_ctx, _| {}));
+    });
+    g.finish();
+}
+
+/// SSSP across queue designs (single-threaded wall time).
+fn bench_sssp(c: &mut Criterion) {
+    let graph = Graph::generate(GraphSpec::new(10_000, 6, 11));
+    let mut g = c.benchmark_group("sssp_10k_vertices");
+    g.sample_size(10);
+    for kind in [QueueKind::Tbb, QueueKind::BgpqCpu, QueueKind::Ljsl] {
+        g.bench_with_input(BenchmarkId::from_parameter(kind.label()), &kind, |b, &kind| {
+            b.iter(|| {
+                // The open list holds multiple labels per vertex; size for edges.
+                let q = build_queue::<u64, SsspNode>(kind, graph.edge_count() * 2, 128, 2);
+                solve_sssp(&graph, 0, q.as_ref(), 2)
+            });
+        });
+    }
+    g.bench_function("sequential_reference", |b| {
+        b.iter(|| graph.dijkstra_reference(0));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_scheduler_events, bench_sim_kernel, bench_sssp);
+criterion_main!(benches);

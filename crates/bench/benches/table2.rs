@@ -1,0 +1,57 @@
+//! Criterion wrapper around scaled-down Table 2 cells: synthetic
+//! insert/delete for each queue, the BGPQ-vs-P-Sync GPU comparison, and
+//! one knapsack + one A* cell. The full rows (all sizes, distributions
+//! and speedup columns) come from the `table2` binary.
+
+use apps::{solve_astar, solve_knapsack_budgeted, AstarNode, KsNode};
+use bench::cpu::{build_queue, cpu_insdel, QueueKind};
+use bench::sim::{bgpq_sim_insdel, psync_sim_insdel};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gpu_sim::GpuConfig;
+use workloads::{
+    generate_keys, Correlation, Grid, GridSpec, KeyDist, KnapsackInstance, KnapsackSpec,
+};
+
+fn bench_insdel_cells(c: &mut Criterion) {
+    let keys = generate_keys(1 << 14, KeyDist::Random, 31);
+    let mut g = c.benchmark_group("table2_insdel");
+    g.sample_size(10);
+    for kind in [QueueKind::Tbb, QueueKind::Cbpq, QueueKind::Ljsl, QueueKind::Spray] {
+        g.bench_with_input(BenchmarkId::new("cpu", kind.label()), &kind, |b, &kind| {
+            b.iter(|| {
+                let q = build_queue::<u32, ()>(kind, keys.len(), 256, 2);
+                cpu_insdel(q.as_ref(), &keys, 2, 256)
+            });
+        });
+    }
+    g.bench_function("gpu/BGPQ-sim", |b| {
+        b.iter(|| bgpq_sim_insdel(GpuConfig::new(8, 512), 1024, &keys));
+    });
+    g.bench_function("gpu/P-Sync-sim", |b| {
+        b.iter(|| psync_sim_insdel(GpuConfig::new(8, 512), 1024, &keys));
+    });
+    g.finish();
+}
+
+fn bench_app_cells(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table2_apps");
+    g.sample_size(10);
+    let inst = KnapsackInstance::generate(KnapsackSpec::new(200, Correlation::Weak, 200));
+    g.bench_function("knapsack_200/BGPQ-cpu", |b| {
+        b.iter(|| {
+            let q = build_queue::<u64, KsNode>(QueueKind::BgpqCpu, 1 << 16, 128, 2);
+            solve_knapsack_budgeted(&inst, q.as_ref(), 2, Some(20_000))
+        });
+    });
+    let grid = Grid::generate(GridSpec::new(128, 0.10, 7));
+    g.bench_function("astar_128/BGPQ-cpu", |b| {
+        b.iter(|| {
+            let q = build_queue::<u64, AstarNode>(QueueKind::BgpqCpu, grid.cells(), 128, 2);
+            solve_astar(&grid, q.as_ref(), 2)
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_insdel_cells, bench_app_cells);
+criterion_main!(benches);

@@ -1,0 +1,100 @@
+//! Regenerates **Figure 6** of the paper: BGPQ performance w.r.t.
+//! thread-block size, node capacity (6a insert / 6b delete), and
+//! thread-block count (6c), on the virtual-time simulator.
+//!
+//! Usage: `fig6 [a|b|c|all] [--scale small|medium|full]`
+
+use bench::report::{ms, results_dir, Table};
+use bench::sim::bgpq_sim_insdel;
+use bench::Scale;
+use gpu_sim::GpuConfig;
+use workloads::{generate_keys, KeyDist};
+
+const CAPACITIES: [usize; 5] = [64, 128, 256, 512, 1024];
+const BLOCK_SIZES: [u32; 4] = [128, 256, 512, 1024];
+const BLOCK_COUNTS: [usize; 8] = [1, 2, 4, 8, 16, 32, 64, 128];
+
+fn parse() -> (String, Scale) {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut what = "all".to_string();
+    let mut scale = Scale::Medium;
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--scale" => {
+                i += 1;
+                scale = Scale::parse(&argv[i]).expect("--scale small|medium|full");
+            }
+            w if !w.starts_with('-') => what = w.to_string(),
+            other => panic!("unknown flag {other}"),
+        }
+        i += 1;
+    }
+    (what, scale)
+}
+
+/// Fig. 6a/6b: capacity × block size sweep at 128 (scaled: 32) blocks.
+fn fig6_ab(scale: Scale) {
+    let n = scale.fig6_keys();
+    let keys = generate_keys(n, KeyDist::Random, 0xF16);
+    let blocks = match scale {
+        Scale::Small => 8,
+        Scale::Medium => 32,
+        Scale::Full => 128,
+    };
+    let mut ta = Table::new("fig6a_insert", &["capacity", "t=128", "t=256", "t=512", "t=1024"]);
+    let mut tb = Table::new("fig6b_delete", &["capacity", "t=128", "t=256", "t=512", "t=1024"]);
+    for k in CAPACITIES {
+        let mut row_a = vec![format!("{k}")];
+        let mut row_b = vec![format!("{k}")];
+        for t in BLOCK_SIZES {
+            eprintln!("[fig6ab] capacity {k}, block size {t} ...");
+            let timing = bgpq_sim_insdel(GpuConfig::new(blocks, t), k, &keys);
+            row_a.push(ms(timing.insert_ms));
+            row_b.push(ms(timing.delete_ms));
+        }
+        ta.row(row_a);
+        tb.row(row_b);
+    }
+    ta.print();
+    tb.print();
+    ta.write_csv(&results_dir()).expect("csv");
+    tb.write_csv(&results_dir()).expect("csv");
+}
+
+/// Fig. 6c: block-count sweep at block size 512, capacity 1024.
+fn fig6_c(scale: Scale) {
+    let n = scale.fig6_keys();
+    let keys = generate_keys(n, KeyDist::Random, 0xF16C);
+    let k = 1024;
+    let mut t = Table::new("fig6c_blocks", &["blocks", "insert_ms", "delete_ms", "total_ms"]);
+    for blocks in BLOCK_COUNTS {
+        eprintln!("[fig6c] {blocks} blocks ...");
+        let timing = bgpq_sim_insdel(GpuConfig::new(blocks, 512), k, &keys);
+        t.row(vec![
+            format!("{blocks}"),
+            ms(timing.insert_ms),
+            ms(timing.delete_ms),
+            ms(timing.total_ms),
+        ]);
+    }
+    t.print();
+    t.write_csv(&results_dir()).expect("csv");
+}
+
+fn main() {
+    let (what, scale) = parse();
+    eprintln!("fig6: {what} (scale {scale:?})");
+    match what.as_str() {
+        "a" | "b" | "ab" => fig6_ab(scale),
+        "c" => fig6_c(scale),
+        "all" => {
+            fig6_ab(scale);
+            fig6_c(scale);
+        }
+        other => {
+            eprintln!("unknown figure {other}; use a|b|c|all");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,108 @@
+//! Diagnostic deep-dive on one simulated BGPQ run: prints every
+//! statistic the instrumentation collects, so design questions ("how
+//! often does the buffer absorb an insert at this batch size?", "how
+//! contended is the root?") are answerable without writing code.
+//!
+//! Usage: `inspect [keys] [k] [batch] [blocks] [block_dim]`
+
+use bench::sim::{bgpq_sim_insdel_batched, BgpqAblation};
+use bgpq::{Bgpq, BgpqOptions};
+use bgpq_runtime::SimPlatform;
+use gpu_sim::{launch, GpuConfig};
+use pq_api::Entry;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use workloads::{generate_keys, KeyDist};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let n: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(1 << 18);
+    let k: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(1024);
+    let batch: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(1024);
+    let blocks: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(32);
+    let block_dim: u32 = args.next().and_then(|s| s.parse().ok()).unwrap_or(512);
+
+    let gpu = GpuConfig::new(blocks, block_dim);
+    let keys = generate_keys(n, KeyDist::Random, 0x1A5u64);
+    println!("workload: {n} random keys, node capacity {k}, batch {batch}");
+    println!(
+        "device:   {blocks} blocks x {block_dim} threads ({} resident), {:.1} GHz",
+        gpu.resident_blocks().min(blocks),
+        gpu.cost.clock_ghz
+    );
+
+    // Phase-split timing via the standard driver.
+    let t = bgpq_sim_insdel_batched(gpu, k, batch.min(k), &keys, BgpqAblation::default());
+    println!("\n== timings (simulated) ==");
+    println!("  insert phase: {:>10.3} ms", t.insert_ms);
+    println!("  delete phase: {:>10.3} ms", t.delete_ms);
+    println!("  total:        {:>10.3} ms", t.total_ms);
+    println!("\n== insert mechanics ==");
+    println!("  INSERT ops:          {}", t.inserts);
+    println!("  insert-heapifies:    {}", t.insert_heapifies);
+    println!("  buffer hit rate:     {:.1}%", t.insert_buffer_hit_rate * 100.0);
+    println!("  collaborations:      {}", t.collaborations);
+
+    // A second, mixed-phase run with full metrics + root-lock focus.
+    let opts = BgpqOptions::with_capacity_for(k, n + 2 * k);
+    let batches: Vec<&[u32]> = keys.chunks(batch.min(k)).collect();
+    let next = AtomicUsize::new(0);
+    let total = batches.len();
+    let (report, q) = launch(
+        gpu,
+        |sched| {
+            let p = SimPlatform::new(sched, opts.max_nodes + 1, gpu.cost, gpu.block_dim);
+            Bgpq::<u32, (), _>::with_platform(p, opts)
+        },
+        |ctx, q| {
+            let mut items = Vec::with_capacity(k);
+            let mut out = Vec::with_capacity(k);
+            loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= total {
+                    break;
+                }
+                items.clear();
+                items.extend(batches[i].iter().map(|&key| Entry::new(key, ())));
+                q.insert(ctx.worker(), &items);
+                if i % 2 == 1 {
+                    out.clear();
+                    q.delete_min(ctx.worker(), &mut out, items.len());
+                }
+            }
+        },
+    );
+    let s = q.stats().snapshot();
+    let m = report.metrics;
+    println!("\n== mixed-phase run (insert + 50% deletes) ==");
+    println!("  makespan:            {:.3} ms", report.makespan_ms);
+    println!("  block balance:       {:.2}", report.balance());
+    println!(
+        "  delete-mins:         {} ({} root-served, {:.1}% hit rate)",
+        s.delete_mins,
+        s.deletes_from_root,
+        s.delete_root_hit_rate() * 100.0
+    );
+    println!("  delete-heapifies:    {}", s.delete_heapifies);
+    println!("  collaborations:      {}", s.collaborations);
+    println!("\n== lock behaviour (scheduler) ==");
+    println!("  acquisitions:        {}", m.lock_acquisitions);
+    println!(
+        "  contended:           {} ({:.1}%)",
+        m.lock_contended,
+        100.0 * m.lock_contended as f64 / m.lock_acquisitions.max(1) as f64
+    );
+    println!(
+        "  wait cycles:         {} ({:.1}% of makespan x blocks)",
+        m.lock_wait_cycles,
+        100.0 * m.lock_wait_cycles as f64 / (report.makespan_cycles * blocks as u64).max(1) as f64
+    );
+    println!("  virtual switches:    {}", m.switches);
+    println!("  charge points:       {}", m.advances);
+    println!(
+        "\nremaining items: {} (memory: {:.1} MiB resident)",
+        q.len(),
+        q.memory_bytes() as f64 / (1 << 20) as f64
+    );
+    q.check_invariants();
+    println!("invariants: OK");
+}

@@ -1,0 +1,98 @@
+//! Memory-footprint experiment (E8): the paper's §2.1 argument for
+//! heaps over skiplists on GPUs — "With p = 50%, skip-list may use as
+//! much as twice memory as a heap. GPU memory … is scarce" — and
+//! Table 1's memory-efficiency criterion ("k + O(1) memory, where k is
+//! the number of keys").
+//!
+//! Usage: `memory [--scale small|medium|full]`
+//!
+//! Loads the same key set into BGPQ and into the skiplist and reports
+//! resident bytes per key. The skiplist is also measured after a
+//! delete-heavy phase to show logical-deletion garbage (arena nodes
+//! that batched cleanup has unlinked but not freed).
+
+use bench::report::{results_dir, Table};
+use bench::Scale;
+use bgpq::{BgpqOptions, CpuBgpq};
+use pq_api::{BatchPriorityQueue, Entry, PriorityQueue};
+use skiplist_pq::LindenJonssonPq;
+use workloads::{generate_keys, KeyDist};
+
+fn parse() -> Scale {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::Medium;
+    let mut i = 0;
+    while i < argv.len() {
+        if argv[i] == "--scale" {
+            i += 1;
+            scale = Scale::parse(&argv[i]).expect("--scale small|medium|full");
+        }
+        i += 1;
+    }
+    scale
+}
+
+fn main() {
+    let scale = parse();
+    let n = scale.fig6_keys();
+    let keys = generate_keys(n, KeyDist::Random, 0x3E3);
+    let entry_bytes = std::mem::size_of::<Entry<u32, ()>>();
+    eprintln!("memory experiment: {n} keys of {entry_bytes} payload bytes each");
+
+    let mut t = Table::new(
+        "memory_footprint",
+        &["structure", "phase", "keys", "resident_bytes", "bytes/key", "overhead_vs_payload"],
+    );
+
+    // BGPQ sized for exactly this workload (k = 1024, as evaluated).
+    let q: CpuBgpq<u32, ()> = CpuBgpq::new(BgpqOptions::with_capacity_for(1024, n));
+    let mut items = Vec::with_capacity(1024);
+    for chunk in keys.chunks(1024) {
+        items.clear();
+        items.extend(chunk.iter().map(|&k| Entry::new(k, ())));
+        q.insert_batch(&items);
+    }
+    let b = q.inner().memory_bytes();
+    t.row(vec![
+        "BGPQ (k=1024)".into(),
+        "loaded".into(),
+        format!("{n}"),
+        format!("{b}"),
+        format!("{:.2}", b as f64 / n as f64),
+        format!("{:.2}x", b as f64 / (n * entry_bytes) as f64),
+    ]);
+
+    // Skiplist, same keys.
+    let sl = LindenJonssonPq::<u32, ()>::new(32);
+    for &k in &keys {
+        sl.insert(k, ());
+    }
+    let b = sl.list().memory_bytes();
+    t.row(vec![
+        "LJSL skiplist".into(),
+        "loaded".into(),
+        format!("{n}"),
+        format!("{b}"),
+        format!("{:.2}", b as f64 / n as f64),
+        format!("{:.2}x", b as f64 / (n * entry_bytes) as f64),
+    ]);
+
+    // Delete-heavy phase: logical deletion leaves arena garbage.
+    for _ in 0..n / 2 {
+        sl.delete_min();
+    }
+    let b = sl.list().memory_bytes();
+    let live = sl.len();
+    t.row(vec![
+        "LJSL skiplist".into(),
+        "after 50% deletes".into(),
+        format!("{live}"),
+        format!("{b}"),
+        format!("{:.2}", b as f64 / live as f64),
+        format!("{:.2}x", b as f64 / (live * entry_bytes) as f64),
+    ]);
+
+    t.print();
+    let p = t.write_csv(&results_dir()).expect("csv");
+    eprintln!("wrote {}", p.display());
+}

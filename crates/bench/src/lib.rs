@@ -1,0 +1,87 @@
+//! # bench — the evaluation harness (Table 2 + Figure 6 + ablations)
+//!
+//! Shared drivers used by the harness binaries (`table2`, `fig6`,
+//! `ablation`) and the Criterion benches:
+//!
+//! * [`sim`] — BGPQ and P-Sync on the virtual-time GPU simulator
+//!   (simulated milliseconds; this is the "GPU side" of every
+//!   comparison — see DESIGN.md §2 for the substitution rationale).
+//! * [`cpu`] — the CPU baselines driven by real OS threads and measured
+//!   in wall-clock time.
+//! * [`report`] — fixed-width table printing plus CSV output under
+//!   `bench_results/`.
+
+pub mod cpu;
+pub mod report;
+pub mod sim;
+pub mod sim_apps;
+
+/// Experiment scale presets so the full suite stays tractable on a
+/// laptop-class host while preserving the paper's sweep structure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Seconds-long smoke runs (also used by integration tests).
+    Small,
+    /// Default: minutes-long, reproduces every shape.
+    Medium,
+    /// Closest to the paper's sizes that remains practical here.
+    Full,
+}
+
+impl Scale {
+    pub fn parse(s: &str) -> Option<Scale> {
+        match s {
+            "small" => Some(Scale::Small),
+            "medium" => Some(Scale::Medium),
+            "full" => Some(Scale::Full),
+            _ => None,
+        }
+    }
+
+    /// Key counts for the "Ins & Del" rows (paper: 1M / 8M / 64M).
+    pub fn insdel_sizes(self) -> Vec<usize> {
+        match self {
+            Scale::Small => vec![1 << 16],
+            Scale::Medium => vec![1 << 20, 1 << 22],
+            Scale::Full => vec![1 << 20, 1 << 23, 1 << 25],
+        }
+    }
+
+    /// (initial keys, pair ops) for the utilization rows
+    /// (paper: init {0, 1M, 8M}, then 64M pairs).
+    pub fn util_params(self) -> (Vec<usize>, usize) {
+        match self {
+            Scale::Small => (vec![0, 1 << 14], 1 << 15),
+            Scale::Medium => (vec![0, 1 << 17, 1 << 20], 1 << 20),
+            Scale::Full => (vec![0, 1 << 20, 1 << 23], 1 << 22),
+        }
+    }
+
+    /// Knapsack item counts (paper: 200..1000) and the node budget that
+    /// fixes the amount of explored tree per queue.
+    pub fn knapsack_params(self) -> (Vec<usize>, u64) {
+        match self {
+            Scale::Small => (vec![200, 400], 50_000),
+            Scale::Medium => (vec![200, 400, 600, 800, 1000], 400_000),
+            Scale::Full => (vec![200, 400, 600, 800, 1000], 4_000_000),
+        }
+    }
+
+    /// A* grid sides (paper: 5K/10K/20K) and obstacle rates.
+    pub fn astar_params(self) -> (Vec<usize>, Vec<f64>) {
+        match self {
+            Scale::Small => (vec![128], vec![0.10, 0.20]),
+            Scale::Medium => (vec![512, 1024], vec![0.10, 0.20]),
+            Scale::Full => (vec![1024, 2048, 4096], vec![0.10, 0.20]),
+        }
+    }
+
+    /// Keys for the Fig. 6 sweeps (paper: 64M).
+    pub fn fig6_keys(self) -> usize {
+        match self {
+            Scale::Small => 1 << 16,
+            Scale::Medium => 1 << 19,
+            Scale::Full => 1 << 22,
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! Table formatting and CSV output.
+
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// A simple fixed-width table that prints like the paper's Table 2 rows
+/// and also lands in `bench_results/<name>.csv`.
+pub struct Table {
+    name: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    pub fn new(name: &str, headers: &[&str]) -> Self {
+        Self {
+            name: name.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Column-aligned rendering.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| {
+            let mut line = String::new();
+            for (i, c) in cells.iter().enumerate() {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(&format!("{:>width$}", c, width = widths[i]));
+            }
+            line
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    pub fn print(&self) {
+        println!("\n== {} ==", self.name);
+        print!("{}", self.render());
+    }
+
+    /// Write `bench_results/<name>.csv`.
+    pub fn write_csv(&self, dir: &Path) -> std::io::Result<PathBuf> {
+        fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}.csv", self.name));
+        let mut f = fs::File::create(&path)?;
+        writeln!(f, "{}", self.headers.join(","))?;
+        for row in &self.rows {
+            writeln!(f, "{}", row.join(","))?;
+        }
+        Ok(path)
+    }
+}
+
+/// Milliseconds with adaptive precision.
+pub fn ms(v: f64) -> String {
+    if v >= 100.0 {
+        format!("{v:.0}")
+    } else if v >= 1.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+/// A speedup ratio like the paper's "B/T" columns.
+pub fn speedup(baseline_ms: f64, bgpq_ms: f64) -> String {
+    if bgpq_ms <= 0.0 {
+        return "-".into();
+    }
+    format!("{:.1}", baseline_ms / bgpq_ms)
+}
+
+/// Default output directory.
+pub fn results_dir() -> PathBuf {
+    PathBuf::from("bench_results")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = Table::new("demo", &["queue", "ms"]);
+        t.row(vec!["BGPQ".into(), "1.5".into()]);
+        t.row(vec!["TBB".into(), "123".into()]);
+        let r = t.render();
+        let lines: Vec<&str> = r.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[2].ends_with("1.5"));
+        assert!(lines[3].ends_with("123"));
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let dir = std::env::temp_dir().join("bgpq_bench_test");
+        let mut t = Table::new("csv_demo", &["a", "b"]);
+        t.row(vec!["1".into(), "2".into()]);
+        let p = t.write_csv(&dir).unwrap();
+        let content = std::fs::read_to_string(p).unwrap();
+        assert_eq!(content, "a,b\n1,2\n");
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(ms(250.0), "250");
+        assert_eq!(ms(2.5), "2.5");
+        assert_eq!(ms(0.1234), "0.123");
+        assert_eq!(speedup(100.0, 10.0), "10.0");
+        assert_eq!(speedup(1.0, 0.0), "-");
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_is_checked() {
+        let mut t = Table::new("x", &["a"]);
+        t.row(vec!["1".into(), "2".into()]);
+    }
+}

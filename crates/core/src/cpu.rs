@@ -1,0 +1,123 @@
+//! Host-side convenience wrapper: BGPQ on real threads.
+
+use crate::heap::Bgpq;
+use crate::options::BgpqOptions;
+use bgpq_runtime::{CpuPlatform, CpuWorker};
+use pq_api::{BatchPriorityQueue, Entry, KeyType, QueueFactory, ValueType};
+
+/// BGPQ running on [`CpuPlatform`] (real `parking_lot` locks, real
+/// threads). Implements [`BatchPriorityQueue`] so the application
+/// drivers (knapsack, A*) and the bench harness can use it
+/// interchangeably with the baselines.
+pub struct CpuBgpq<K, V> {
+    inner: Bgpq<K, V, CpuPlatform>,
+}
+
+impl<K: KeyType, V: ValueType> CpuBgpq<K, V> {
+    pub fn new(opts: BgpqOptions) -> Self {
+        opts.validate();
+        let platform = CpuPlatform::new(opts.max_nodes + 1);
+        Self { inner: Bgpq::with_platform(platform, opts) }
+    }
+
+    /// Enable linearization-history recording (before sharing).
+    pub fn with_history(mut self) -> Self {
+        self.inner = self.inner.with_history();
+        self
+    }
+
+    /// The underlying generic heap.
+    pub fn inner(&self) -> &Bgpq<K, V, CpuPlatform> {
+        &self.inner
+    }
+}
+
+impl<K: KeyType, V: ValueType> BatchPriorityQueue<K, V> for CpuBgpq<K, V> {
+    fn batch_capacity(&self) -> usize {
+        self.inner.node_capacity()
+    }
+
+    fn insert_batch(&self, items: &[Entry<K, V>]) {
+        let mut w = CpuWorker;
+        self.inner.insert(&mut w, items);
+    }
+
+    fn delete_min_batch(&self, out: &mut Vec<Entry<K, V>>, count: usize) -> usize {
+        let mut w = CpuWorker;
+        self.inner.delete_min(&mut w, out, count)
+    }
+
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+}
+
+/// Factory for the bench harness.
+pub struct CpuBgpqFactory {
+    /// Node capacity `k`.
+    pub node_capacity: usize,
+}
+
+impl Default for CpuBgpqFactory {
+    fn default() -> Self {
+        Self { node_capacity: 1024 }
+    }
+}
+
+impl<K: KeyType, V: ValueType> QueueFactory<K, V> for CpuBgpqFactory {
+    type Queue = CpuBgpq<K, V>;
+
+    fn name(&self) -> &str {
+        "BGPQ"
+    }
+
+    fn build(&self, capacity_hint: usize) -> CpuBgpq<K, V> {
+        CpuBgpq::new(BgpqOptions::with_capacity_for(self.node_capacity, capacity_hint.max(1)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> CpuBgpq<u32, u32> {
+        CpuBgpq::new(BgpqOptions { node_capacity: 4, max_nodes: 64, ..Default::default() })
+    }
+
+    #[test]
+    fn batch_roundtrip() {
+        let q = small();
+        let items: Vec<Entry<u32, u32>> =
+            [(9, 0), (1, 1), (5, 2)].iter().map(|&(k, v)| Entry::new(k, v)).collect();
+        q.insert_batch(&items);
+        assert_eq!(q.len(), 3);
+        let mut out = Vec::new();
+        let n = q.delete_min_batch(&mut out, 4);
+        assert_eq!(n, 3);
+        assert_eq!(out.iter().map(|e| e.key).collect::<Vec<_>>(), vec![1, 5, 9]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn values_travel_with_keys() {
+        let q = small();
+        q.insert_batch(&[Entry::new(3u32, 33u32), Entry::new(1, 11), Entry::new(2, 22)]);
+        let mut out = Vec::new();
+        q.delete_min_batch(&mut out, 3);
+        assert_eq!(
+            out.iter().map(|e| (e.key, e.value)).collect::<Vec<_>>(),
+            vec![(1, 11), (2, 22), (3, 33)]
+        );
+    }
+
+    #[test]
+    fn factory_builds_working_queue() {
+        let f = CpuBgpqFactory { node_capacity: 8 };
+        let q: CpuBgpq<u32, ()> = f.build(1000);
+        assert_eq!(<CpuBgpqFactory as QueueFactory<u32, ()>>::name(&f), "BGPQ");
+        q.insert_batch(&[Entry::new(42u32, ())]);
+        let mut out = Vec::new();
+        assert_eq!(q.delete_min_batch(&mut out, 1), 1);
+        assert_eq!(out[0].key, 42);
+    }
+}

@@ -1,0 +1,804 @@
+//! The BGPQ batched heap (Algorithms 1–3 of the paper).
+//!
+//! One generic implementation of the paper's pseudocode, parameterized
+//! over a [`Platform`]: on [`bgpq_runtime::CpuPlatform`] it is a real
+//! concurrent priority queue under OS threads; on
+//! [`bgpq_runtime::SimPlatform`] the same code runs inside the
+//! virtual-time GPU simulator with every primitive charged to the
+//! simulated clock.
+//!
+//! Layout (see [`crate::storage`]): node `1` is the root (≤ k keys),
+//! node `0` the partial buffer (≤ k-1 keys, shares the root's lock),
+//! nodes `2..` are full batch nodes. The heap invariant is the paper's:
+//! each non-root node's smallest key ≥ its parent's largest key, and the
+//! buffer's smallest key ≥ the root's largest.
+//!
+//! Deviation from the pseudocode (documented in DESIGN.md): the paper
+//! keeps `pBuffer` unsorted and sorts it lazily on overflow (Alg. 1
+//! line 26), but then uses it in sorted `SORT_SPLIT`s elsewhere (Alg. 2
+//! lines 13/25) without sorting. We keep the buffer sorted at all times
+//! by merging insertions into it — same asymptotics on the GPU (one
+//! merge-path pass), no ambiguity.
+
+use crate::history::{HistoryOp, HistoryRecorder};
+use crate::options::BgpqOptions;
+use crate::storage::{NodeState, NodeStorage, PBUFFER};
+use crate::tree::{next_on_path, ROOT};
+use bgpq_runtime::Platform;
+use pq_api::{Entry, KeyType, OpStats, ValueType};
+use primitives::{sort_split, sort_split_full, PrimitiveCost};
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+
+/// A batched, heap-based, lock-based, linearizable concurrent priority
+/// queue — the paper's contribution.
+pub struct Bgpq<K, V, P: Platform> {
+    platform: P,
+    storage: NodeStorage<K, V>,
+    opts: BgpqOptions,
+    /// Linearization sequence, drawn while holding the root lock.
+    seq: AtomicU64,
+    /// Approximate item count (exact at quiescence).
+    items: AtomicI64,
+    stats: OpStats,
+    history: Option<HistoryRecorder<K>>,
+}
+
+impl<K: KeyType, V: ValueType, P: Platform> Bgpq<K, V, P> {
+    /// Build a queue on `platform`, which must provide at least
+    /// `opts.max_nodes + 1` locks (one per node slot; index 0 is unused
+    /// because the buffer shares the root's lock).
+    pub fn with_platform(platform: P, opts: BgpqOptions) -> Self {
+        opts.validate();
+        assert!(
+            platform.num_locks() > opts.max_nodes,
+            "platform must provide max_nodes + 1 locks ({} > {})",
+            platform.num_locks(),
+            opts.max_nodes
+        );
+        Self {
+            storage: NodeStorage::new(opts.node_capacity, opts.max_nodes),
+            platform,
+            opts,
+            seq: AtomicU64::new(0),
+            items: AtomicI64::new(0),
+            stats: OpStats::new(),
+            history: None,
+        }
+    }
+
+    /// Enable linearization-history recording (Section 5 checking).
+    /// Must be called before the queue is shared.
+    pub fn with_history(mut self) -> Self {
+        self.history = Some(HistoryRecorder::new());
+        self
+    }
+
+    /// Drain the recorded linearization history (if enabled).
+    pub fn take_history(&self) -> Vec<crate::history::HistoryEvent<K>> {
+        self.history.as_ref().map(|h| h.take()).unwrap_or_default()
+    }
+
+    /// Node capacity `k`.
+    pub fn node_capacity(&self) -> usize {
+        self.opts.node_capacity
+    }
+
+    /// Configuration.
+    pub fn options(&self) -> &BgpqOptions {
+        &self.opts
+    }
+
+    /// Operation statistics.
+    pub fn stats(&self) -> &OpStats {
+        &self.stats
+    }
+
+    /// The platform (for inspection).
+    pub fn platform(&self) -> &P {
+        &self.platform
+    }
+
+    /// Approximate number of stored items (exact at quiescence).
+    pub fn len(&self) -> usize {
+        self.items.load(Ordering::Relaxed).max(0) as usize
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total key capacity of the heap body.
+    pub fn capacity_items(&self) -> usize {
+        self.opts.capacity_items()
+    }
+
+    /// Resident bytes of the preallocated node storage (the paper's
+    /// memory-efficiency criterion: `k + O(1)` words for `k` keys —
+    /// Table 1 footnote b). Entries plus one state byte per node.
+    pub fn memory_bytes(&self) -> usize {
+        (self.opts.max_nodes + 1)
+            * (self.opts.node_capacity * std::mem::size_of::<Entry<K, V>>() + 1)
+    }
+
+    /// Insert an arbitrary number of entries, splitting them into
+    /// `node_capacity`-sized batches (each batch is one linearized
+    /// INSERT). Returns the number inserted.
+    pub fn insert_all<I>(&self, w: &mut P::Worker, items: I) -> usize
+    where
+        I: IntoIterator<Item = Entry<K, V>>,
+    {
+        let k = self.opts.node_capacity;
+        let mut batch: Vec<Entry<K, V>> = Vec::with_capacity(k);
+        let mut n = 0;
+        for e in items {
+            batch.push(e);
+            if batch.len() == k {
+                self.insert(w, &batch);
+                n += k;
+                batch.clear();
+            }
+        }
+        if !batch.is_empty() {
+            n += batch.len();
+            self.insert(w, &batch);
+        }
+        n
+    }
+
+    /// Remove every entry, appending them to `out` in ascending key
+    /// order. Concurrent-safe (each batch is one linearized DELETEMIN);
+    /// with concurrent inserts running, "every" means "until a moment
+    /// the queue was observed empty". Returns the number drained.
+    pub fn drain(&self, w: &mut P::Worker, out: &mut Vec<Entry<K, V>>) -> usize {
+        let start = out.len();
+        let k = self.opts.node_capacity;
+        while self.delete_min(w, out, k) > 0 {}
+        out.len() - start
+    }
+
+    /// Discard every entry (a drain into a throwaway buffer — the
+    /// batched heap has no cheaper structural reset that preserves
+    /// concurrent safety). Returns the number discarded.
+    pub fn clear(&self, w: &mut P::Worker) -> usize {
+        let mut sink = Vec::with_capacity(self.opts.node_capacity);
+        let mut n = 0;
+        loop {
+            sink.clear();
+            let got = self.delete_min(w, &mut sink, self.opts.node_capacity);
+            if got == 0 {
+                return n;
+            }
+            n += got;
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // helpers
+    // ------------------------------------------------------------------
+
+    #[inline]
+    fn charge(&self, w: &mut P::Worker, c: PrimitiveCost) {
+        self.platform.charge(w, c);
+    }
+
+    /// Draw the linearization point for the operation currently holding
+    /// the root lock. Must be called *before* releasing the root lock,
+    /// exactly once per operation.
+    fn linearize(&self, seq_out: &mut Option<u64>) {
+        let s = self.seq.fetch_add(1, Ordering::Relaxed) + 1;
+        debug_assert!(seq_out.is_none(), "operation linearized twice");
+        *seq_out = Some(s);
+    }
+
+    /// Release a path lock; if it is the root's, draw the linearization
+    /// point first.
+    fn unlock_path(&self, w: &mut P::Worker, lock: usize, seq_out: &mut Option<u64>) {
+        if lock == ROOT {
+            self.linearize(seq_out);
+        }
+        self.platform.unlock(w, lock);
+    }
+
+    /// Record a completed operation in the history (if enabled).
+    fn record_history(
+        &self,
+        invoked: Option<u64>,
+        seq: Option<u64>,
+        op: impl FnOnce() -> HistoryOp<K>,
+    ) {
+        if let Some(rec) = self.history.as_ref() {
+            rec.record(crate::history::HistoryEvent {
+                seq: seq.expect("operation completed without a linearization point"),
+                invoked: invoked.expect("invocation timestamp missing"),
+                responded: rec.tick(),
+                op: op(),
+            });
+        }
+    }
+
+    /// `EXTRACT_ROOT` (Alg. 2 lines 32-35): move up to `want` smallest
+    /// keys from the root into `out`, compacting the root. Caller holds
+    /// the root lock. Returns the number extracted.
+    fn extract_root(&self, w: &mut P::Worker, out: &mut Vec<Entry<K, V>>, want: usize) -> usize {
+        // SAFETY: root lock held (caller), references scoped to this fn.
+        let taken = unsafe {
+            let rl = self.storage.meta_mut().root_len;
+            let s = want.min(rl);
+            if s > 0 {
+                let root = self.storage.node_mut(ROOT);
+                out.extend_from_slice(&root[..s]);
+                root.copy_within(s..rl, 0);
+                self.storage.meta_mut().root_len = rl - s;
+            }
+            s
+        };
+        if taken > 0 {
+            self.charge(w, PrimitiveCost::GlobalRead { n: taken });
+            self.charge(w, PrimitiveCost::GlobalWrite { n: taken });
+        }
+        taken
+    }
+
+    // ------------------------------------------------------------------
+    // INSERT (Alg. 1)
+    // ------------------------------------------------------------------
+
+    /// Insert 1..=k `(key, value)` entries.
+    ///
+    /// Panics if `items` is empty, exceeds the node capacity, or the
+    /// heap body is out of node slots.
+    pub fn insert(&self, w: &mut P::Worker, items: &[Entry<K, V>]) {
+        let invoked = self.history.as_ref().map(|h| h.tick());
+        let keys: Option<Vec<K>> =
+            self.history.as_ref().map(|_| items.iter().map(|e| e.key).collect());
+        let mut seq = None;
+        self.insert_inner(w, items, &mut seq);
+        self.record_history(invoked, seq, || HistoryOp::Insert { keys: keys.unwrap() });
+    }
+
+    fn insert_inner(&self, w: &mut P::Worker, items: &[Entry<K, V>], seq_out: &mut Option<u64>) {
+        let k = self.opts.node_capacity;
+        let size = items.len();
+        assert!(size >= 1 && size <= k, "insert batch must have 1..=k items, got {size}");
+
+        // Sort the incoming batch (Alg. 1 line 2). `buf` is k slots so
+        // the overflow SORT_SPLIT can deposit a full batch into it.
+        let mut buf: Vec<Entry<K, V>> = Vec::with_capacity(k);
+        buf.extend_from_slice(items);
+        buf.resize(k, Entry::sentinel());
+        self.charge(w, PrimitiveCost::SortWith { n: size, algo: self.opts.sort_algo });
+        buf[..size].sort_unstable();
+        let mut scratch: Vec<Entry<K, V>> = Vec::with_capacity(2 * k);
+
+        self.platform.lock(w, ROOT);
+        OpStats::bump(&self.stats.inserts);
+        OpStats::add(&self.stats.items_inserted, size as u64);
+        self.items.fetch_add(size as i64, Ordering::Relaxed);
+
+        // ---- PARTIAL_INSERT (Alg. 1 lines 15-29) ----
+        // SAFETY throughout: root lock held; buffer shares it.
+        let heap_size = unsafe { self.storage.meta_mut().heap_size };
+        if heap_size == 0 {
+            unsafe {
+                self.storage.node_mut(ROOT)[..size].copy_from_slice(&buf[..size]);
+                let m = self.storage.meta_mut();
+                m.root_len = size;
+                m.heap_size = 1;
+            }
+            self.charge(w, PrimitiveCost::GlobalWrite { n: size });
+            self.storage.set_state(ROOT, NodeState::Avail);
+            OpStats::bump(&self.stats.inserts_buffered);
+            self.linearize(seq_out);
+            self.platform.unlock(w, ROOT);
+            return;
+        }
+
+        // Merge with the root so it keeps the |root| smallest keys
+        // (Alg. 1 line 20).
+        let root_len = unsafe { self.storage.meta_mut().root_len };
+        if root_len > 0 {
+            self.charge(w, PrimitiveCost::GlobalRead { n: root_len });
+            self.charge(w, PrimitiveCost::SortSplit { na: root_len, nb: size });
+            unsafe {
+                let root = self.storage.node_mut(ROOT);
+                sort_split(root, root_len, &mut buf, size, root_len, &mut scratch);
+            }
+            self.charge(w, PrimitiveCost::GlobalWrite { n: root_len });
+        }
+
+        let buf_len = unsafe { self.storage.meta_mut().buf_len };
+        let direct_full_batch = !self.opts.use_partial_buffer && size == k;
+        if !direct_full_batch && buf_len + size < k {
+            // Buffer absorbs the batch (Alg. 1 lines 21-24); kept sorted
+            // by merging (see module docs).
+            self.charge(w, PrimitiveCost::GlobalRead { n: buf_len });
+            self.charge(w, PrimitiveCost::Merge { n: buf_len + size });
+            unsafe {
+                let pb = self.storage.node_mut(PBUFFER);
+                // Merge buf[..size] into pb[..buf_len]: both sorted.
+                scratch.clear();
+                scratch.extend_from_slice(&pb[..buf_len]);
+                let mut i = 0;
+                let mut j = 0;
+                for slot in pb.iter_mut().take(buf_len + size) {
+                    *slot = if i < buf_len && (j >= size || scratch[i] <= buf[j]) {
+                        i += 1;
+                        scratch[i - 1]
+                    } else {
+                        j += 1;
+                        buf[j - 1]
+                    };
+                }
+                self.storage.meta_mut().buf_len = buf_len + size;
+            }
+            self.charge(w, PrimitiveCost::GlobalWrite { n: buf_len + size });
+            OpStats::bump(&self.stats.inserts_buffered);
+            self.linearize(seq_out);
+            self.platform.unlock(w, ROOT);
+            return;
+        }
+
+        if !direct_full_batch {
+            // Overflow (Alg. 1 lines 25-29): extract the k smallest of
+            // (batch ∪ buffer) into `buf`, leave the rest in the buffer.
+            debug_assert!(buf_len + size >= k);
+            self.charge(w, PrimitiveCost::GlobalRead { n: buf_len });
+            self.charge(w, PrimitiveCost::SortSplit { na: size, nb: buf_len });
+            unsafe {
+                let pb = self.storage.node_mut(PBUFFER);
+                sort_split(&mut buf, size, pb, buf_len, k, &mut scratch);
+                self.storage.meta_mut().buf_len = buf_len + size - k;
+            }
+            self.charge(w, PrimitiveCost::GlobalWrite { n: buf_len + size - k });
+        }
+
+        // ---- full insert-heapify (Alg. 1 lines 5-14) ----
+        OpStats::bump(&self.stats.insert_heapifies);
+        let tar = {
+            // SAFETY: root lock held.
+            let full = unsafe { self.storage.meta_mut().heap_size >= self.opts.max_nodes };
+            if full {
+                // Release the root before unwinding so the queue stays
+                // usable. The k largest keys of (root ∪ buffer ∪ batch)
+                // — the full node that has nowhere to go — are dropped;
+                // the item counter is adjusted so `len()` stays exact.
+                self.items.fetch_sub(k as i64, Ordering::Relaxed);
+                self.linearize(seq_out);
+                self.platform.unlock(w, ROOT);
+                panic!(
+                    "BGPQ out of node slots (max_nodes = {}); size the queue larger",
+                    self.opts.max_nodes
+                );
+            }
+            // SAFETY: root lock held.
+            unsafe {
+                let m = self.storage.meta_mut();
+                m.heap_size += 1;
+                m.heap_size
+            }
+        };
+        self.platform.lock(w, tar);
+        self.storage.set_state(tar, NodeState::Target);
+        self.platform.unlock(w, tar);
+
+        // INSERT_HEAPIFY (Alg. 1 lines 30-34), iteratively. `held` is
+        // the lock we currently hold — initially the root.
+        let mut held = ROOT;
+        let mut cur = next_on_path(ROOT, tar);
+        while cur != tar && self.storage.state(tar) != NodeState::Marked {
+            self.platform.lock(w, cur);
+            self.unlock_path(w, held, seq_out);
+            held = cur;
+            self.charge(w, PrimitiveCost::GlobalRead { n: k });
+            self.charge(w, PrimitiveCost::SortSplit { na: k, nb: k });
+            // SAFETY: we hold `cur`'s lock; path nodes are full AVAIL.
+            unsafe {
+                sort_split_full(self.storage.node_mut(cur), &mut buf, &mut scratch);
+            }
+            self.charge(w, PrimitiveCost::GlobalWrite { n: k });
+            cur = next_on_path(cur, tar);
+        }
+
+        // Alg. 1 lines 8-14.
+        self.platform.lock(w, tar);
+        self.unlock_path(w, held, seq_out);
+        if self.storage.state(tar) == NodeState::Target {
+            // SAFETY: we hold tar's lock and it is TARGET (reserved for
+            // us; no keys yet).
+            unsafe {
+                self.storage.node_mut(tar).copy_from_slice(&buf[..k]);
+            }
+            self.charge(w, PrimitiveCost::GlobalWrite { n: k });
+            self.storage.set_state(tar, NodeState::Avail);
+        } else {
+            // MARKED: a DELETEMIN is spinning on the root (holding the
+            // root lock); refill the root for it (§4.3).
+            debug_assert_eq!(self.storage.state(tar), NodeState::Marked);
+            // SAFETY: collaboration-phase ownership of the root entries
+            // and root_len (see storage module docs) — the deleter will
+            // not touch them until it observes AVAIL.
+            unsafe {
+                self.storage.node_mut(ROOT).copy_from_slice(&buf[..k]);
+                self.storage.meta_mut().root_len = k;
+            }
+            self.charge(w, PrimitiveCost::GlobalWrite { n: k });
+            self.storage.set_state(ROOT, NodeState::Avail);
+            self.storage.set_state(tar, NodeState::Empty);
+            OpStats::bump(&self.stats.collaborations);
+        }
+        self.platform.unlock(w, tar);
+    }
+
+    // ------------------------------------------------------------------
+    // DELETEMIN (Alg. 2 + 3)
+    // ------------------------------------------------------------------
+
+    /// Delete up to `count` (1..=k) smallest entries, appending them to
+    /// `out` in ascending key order. Returns how many were deleted
+    /// (fewer than `count` only if the queue ran out of items).
+    pub fn delete_min(&self, w: &mut P::Worker, out: &mut Vec<Entry<K, V>>, count: usize) -> usize {
+        let invoked = self.history.as_ref().map(|h| h.tick());
+        let mut seq = None;
+        let start = out.len();
+        let got = self.delete_min_inner(w, out, count, &mut seq);
+        self.record_history(invoked, seq, || HistoryOp::DeleteMin {
+            requested: count,
+            keys: out[start..].iter().map(|e| e.key).collect(),
+        });
+        got
+    }
+
+    fn delete_min_inner(
+        &self,
+        w: &mut P::Worker,
+        out: &mut Vec<Entry<K, V>>,
+        count: usize,
+        seq_out: &mut Option<u64>,
+    ) -> usize {
+        let k = self.opts.node_capacity;
+        assert!(count >= 1 && count <= k, "delete batch must request 1..=k items, got {count}");
+        let start = out.len();
+        let mut scratch: Vec<Entry<K, V>> = Vec::with_capacity(2 * k);
+
+        self.platform.lock(w, ROOT);
+        OpStats::bump(&self.stats.delete_mins);
+
+        // ---- PARTIAL_DELETEMIN (Alg. 2 lines 15-31) ----
+        // SAFETY throughout: root lock held.
+        let (heap_size, root_len) = unsafe {
+            let m = self.storage.meta_mut();
+            (m.heap_size, m.root_len)
+        };
+
+        if heap_size == 0 {
+            self.finish_delete(w, out, start, ROOT, true, seq_out);
+            return 0;
+        }
+
+        if count < root_len {
+            // Root alone satisfies the request (Alg. 2 lines 18-20).
+            self.extract_root(w, out, count);
+            OpStats::bump(&self.stats.deletes_from_root);
+            self.finish_delete(w, out, start, ROOT, true, seq_out);
+            return count;
+        }
+
+        // Take everything the root has (Alg. 2 line 22).
+        self.extract_root(w, out, root_len);
+
+        if heap_size == 1 {
+            // No full nodes: serve the remainder from the buffer
+            // (Alg. 2 lines 23-29).
+            unsafe {
+                let buf_len = self.storage.meta_mut().buf_len;
+                if buf_len > 0 {
+                    let pb_ptr = self.storage.node_mut(PBUFFER);
+                    let root = self.storage.node_mut(ROOT);
+                    root[..buf_len].copy_from_slice(&pb_ptr[..buf_len]);
+                    let m = self.storage.meta_mut();
+                    m.root_len = buf_len;
+                    m.buf_len = 0;
+                }
+            }
+            self.charge(w, PrimitiveCost::GlobalRead { n: k });
+            let remaining = count - (out.len() - start);
+            self.extract_root(w, out, remaining);
+            unsafe {
+                let m = self.storage.meta_mut();
+                if m.root_len == 0 {
+                    // Heap fully drained; reset to the empty state.
+                    m.heap_size = 0;
+                    self.storage.set_state(ROOT, NodeState::Empty);
+                }
+            }
+            OpStats::bump(&self.stats.deletes_from_root);
+            self.finish_delete(w, out, start, ROOT, true, seq_out);
+            return out.len() - start;
+        }
+
+        // ---- refill the root from a heap node (Alg. 2 lines 4-14) ----
+        self.storage.set_state(ROOT, NodeState::Empty);
+        let remained = count - (out.len() - start);
+        let tar = unsafe {
+            let m = self.storage.meta_mut();
+            let t = m.heap_size;
+            m.heap_size -= 1;
+            t
+        };
+        debug_assert!(tar >= 2);
+        self.platform.lock(w, tar);
+        self.charge(w, PrimitiveCost::Atomic);
+
+        if self.storage.state(tar) == NodeState::Target {
+            if self.opts.use_collaboration {
+                // Collaborate: the in-flight insertion refills the root
+                // directly (§4.3; footnote 2: we spin holding the root
+                // lock).
+                self.storage.set_state(tar, NodeState::Marked);
+                self.platform.unlock(w, tar);
+                while self.storage.state(ROOT) != NodeState::Avail {
+                    self.platform.backoff(w);
+                }
+            } else {
+                // Ablation: wait for the insertion to finish filling
+                // `tar`, then take its keys like any AVAIL node.
+                self.platform.unlock(w, tar);
+                while self.storage.state(tar) != NodeState::Avail {
+                    self.platform.backoff(w);
+                }
+                self.platform.lock(w, tar);
+                debug_assert_eq!(self.storage.state(tar), NodeState::Avail);
+                self.move_node_to_root(w, tar, k);
+            }
+        } else {
+            debug_assert_eq!(self.storage.state(tar), NodeState::Avail);
+            self.move_node_to_root(w, tar, k);
+        }
+
+        // Re-establish root ≤ buffer (Alg. 2 line 13).
+        let buf_len = unsafe { self.storage.meta_mut().buf_len };
+        if buf_len > 0 {
+            self.charge(w, PrimitiveCost::SortSplit { na: k, nb: buf_len });
+            // SAFETY: root lock held covers both the root and buffer.
+            unsafe {
+                let root = self.storage.node_mut(ROOT);
+                let pb = self.storage.node_mut(PBUFFER);
+                sort_split(root, k, pb, buf_len, k, &mut scratch);
+            }
+        }
+
+        OpStats::bump(&self.stats.delete_heapifies);
+        self.delete_heapify(w, out, start, remained, &mut scratch, seq_out);
+        out.len() - start
+    }
+
+    /// Move AVAIL node `tar`'s full batch into the (empty) root and
+    /// release `tar`. Caller holds both the root and `tar` locks.
+    fn move_node_to_root(&self, w: &mut P::Worker, tar: usize, k: usize) {
+        self.charge(w, PrimitiveCost::GlobalRead { n: k });
+        // SAFETY: both locks held; nodes are disjoint (tar >= 2).
+        unsafe {
+            let src = self.storage.node_ref(tar);
+            let dst = self.storage.node_mut(ROOT);
+            dst.copy_from_slice(src);
+            self.storage.meta_mut().root_len = k;
+        }
+        self.charge(w, PrimitiveCost::GlobalWrite { n: k });
+        self.storage.set_state(tar, NodeState::Empty);
+        self.platform.unlock(w, tar);
+        self.storage.set_state(ROOT, NodeState::Avail);
+    }
+
+    /// `DELETEMIN_HEAPIFY` (Alg. 3), iteratively. On entry the caller
+    /// holds `cur = root`'s lock; `remained` keys still owed to the
+    /// caller are extracted from the root before it is released.
+    fn delete_heapify(
+        &self,
+        w: &mut P::Worker,
+        out: &mut Vec<Entry<K, V>>,
+        start: usize,
+        remained: usize,
+        scratch: &mut Vec<Entry<K, V>>,
+        seq_out: &mut Option<u64>,
+    ) {
+        let k = self.opts.node_capacity;
+        let max = self.opts.max_nodes;
+        let mut cur = ROOT;
+        loop {
+            let l = crate::tree::left(cur);
+            let r = crate::tree::right(cur);
+            let l_in = l <= max;
+            let r_in = r <= max;
+            if l_in {
+                self.platform.lock(w, l);
+            }
+            if r_in {
+                self.platform.lock(w, r);
+            }
+            let l_has = l_in && self.storage.state(l) == NodeState::Avail;
+            let r_has = r_in && self.storage.state(r) == NodeState::Avail;
+
+            // SAFETY: we hold cur (and child) locks; AVAIL non-root
+            // nodes are full and sorted.
+            let cur_max = unsafe { self.storage.node_ref(cur)[k - 1].key };
+            let min_child = unsafe {
+                match (l_has, r_has) {
+                    (true, true) => {
+                        Some(self.storage.node_ref(l)[0].key.min(self.storage.node_ref(r)[0].key))
+                    }
+                    (true, false) => Some(self.storage.node_ref(l)[0].key),
+                    (false, true) => Some(self.storage.node_ref(r)[0].key),
+                    (false, false) => None,
+                }
+            };
+            self.charge(w, PrimitiveCost::GlobalRead { n: if l_has { k } else { 0 } });
+            self.charge(w, PrimitiveCost::GlobalRead { n: if r_has { k } else { 0 } });
+
+            // Alg. 3 lines 4-8: heap property already satisfied (TARGET
+            // and EMPTY children hold no keys).
+            if min_child.is_none_or(|m| cur_max <= m) {
+                if cur == ROOT {
+                    self.extract_root(w, out, remained);
+                }
+                if r_in {
+                    self.platform.unlock(w, r);
+                }
+                if l_in {
+                    self.platform.unlock(w, l);
+                }
+                self.finish_delete(w, out, start, cur, cur == ROOT, seq_out);
+                return;
+            }
+
+            // Descend. If only one child holds keys, SORT_SPLIT with it
+            // directly; otherwise Alg. 3 lines 9-12.
+            let y = if l_has && r_has {
+                let (x, y) = unsafe {
+                    let lmax = self.storage.node_ref(l)[k - 1].key;
+                    let rmax = self.storage.node_ref(r)[k - 1].key;
+                    if lmax > rmax {
+                        (l, r)
+                    } else {
+                        (r, l)
+                    }
+                };
+                self.charge(w, PrimitiveCost::SortSplit { na: k, nb: k });
+                // SAFETY: both child locks held; disjoint nodes.
+                unsafe {
+                    sort_split_two(self.storage.node_mut(y), self.storage.node_mut(x), scratch);
+                }
+                self.charge(w, PrimitiveCost::GlobalWrite { n: k });
+                self.platform.unlock(w, x);
+                y
+            } else {
+                let y = if l_has { l } else { r };
+                // Release the keyless sibling immediately.
+                let other = if l_has { r } else { l };
+                if other == r && r_in {
+                    self.platform.unlock(w, r);
+                } else if other == l && l_in {
+                    self.platform.unlock(w, l);
+                }
+                y
+            };
+
+            // SORT_SPLIT(cur, y): cur keeps the k smallest (Alg. 3
+            // line 12).
+            self.charge(w, PrimitiveCost::SortSplit { na: k, nb: k });
+            // SAFETY: cur and y locks held; disjoint nodes.
+            unsafe {
+                sort_split_two(self.storage.node_mut(cur), self.storage.node_mut(y), scratch);
+            }
+            self.charge(w, PrimitiveCost::GlobalWrite { n: 2 * k });
+
+            if cur == ROOT {
+                self.extract_root(w, out, remained);
+            }
+            self.finish_delete(w, out, start, cur, cur == ROOT, seq_out);
+            cur = y;
+        }
+    }
+
+    /// Release `lock` on the delete path; when it is the root lock this
+    /// is the operation's linearization point (the result set is final
+    /// by then), so draw the sequence number and update the item count.
+    fn finish_delete(
+        &self,
+        w: &mut P::Worker,
+        out: &[Entry<K, V>],
+        start: usize,
+        lock: usize,
+        is_root: bool,
+        seq_out: &mut Option<u64>,
+    ) {
+        if is_root {
+            let got = &out[start..];
+            self.items.fetch_sub(got.len() as i64, Ordering::Relaxed);
+            OpStats::add(&self.stats.items_deleted, got.len() as u64);
+            self.linearize(seq_out);
+        }
+        self.platform.unlock(w, lock);
+    }
+}
+
+/// `SORT_SPLIT` between two full nodes where the *first* argument
+/// receives the smallest keys — inputs are each sorted but their union
+/// order is arbitrary.
+fn sort_split_two<K: KeyType, V: ValueType>(
+    small_side: &mut [Entry<K, V>],
+    large_side: &mut [Entry<K, V>],
+    scratch: &mut Vec<Entry<K, V>>,
+) {
+    sort_split_full(small_side, large_side, scratch);
+}
+
+// ----------------------------------------------------------------------
+// Quiescent invariant checking (test support)
+// ----------------------------------------------------------------------
+
+impl<K: KeyType, V: ValueType, P: Platform> Bgpq<K, V, P> {
+    /// Verify the batched-heap invariants. **Quiescent only**: no
+    /// concurrent operations may be running. Panics with a description
+    /// on violation; returns the total key count on success.
+    pub fn check_invariants(&self) -> usize {
+        // SAFETY: quiescence is the caller's contract; no other thread
+        // touches storage.
+        unsafe {
+            let k = self.opts.node_capacity;
+            let m = *self.storage.meta_mut();
+            assert!(m.heap_size <= self.opts.max_nodes, "heap_size exceeds max_nodes");
+            assert!(m.root_len <= k, "root over capacity");
+            assert!(m.buf_len <= k.saturating_sub(1), "buffer over capacity");
+            let mut total = 0usize;
+
+            if m.heap_size == 0 {
+                assert_eq!(m.root_len, 0, "empty heap with keys in root");
+                assert_eq!(m.buf_len, 0, "empty heap with keys in buffer");
+                return 0;
+            }
+            assert_eq!(self.storage.state(ROOT), NodeState::Avail, "root not AVAIL");
+            let root = self.storage.node_ref(ROOT);
+            assert!(root[..m.root_len].windows(2).all(|p| p[0] <= p[1]), "root not sorted");
+            total += m.root_len;
+
+            let pb = self.storage.node_ref(PBUFFER);
+            assert!(pb[..m.buf_len].windows(2).all(|p| p[0] <= p[1]), "buffer not sorted");
+            if m.buf_len > 0 && m.root_len > 0 {
+                assert!(root[m.root_len - 1].key <= pb[0].key, "buffer min below root max");
+            }
+            total += m.buf_len;
+
+            for node in 2..=m.heap_size {
+                assert_eq!(
+                    self.storage.state(node),
+                    NodeState::Avail,
+                    "node {node} within heap_size not AVAIL"
+                );
+                let n = self.storage.node_ref(node);
+                assert!(n.windows(2).all(|p| p[0] <= p[1]), "node {node} not sorted");
+                let parent = crate::tree::parent(node);
+                if parent == ROOT {
+                    if m.root_len > 0 {
+                        assert!(
+                            root[m.root_len - 1].key <= n[0].key,
+                            "node {node} min below root max"
+                        );
+                    }
+                } else {
+                    let p = self.storage.node_ref(parent);
+                    assert!(p[k - 1].key <= n[0].key, "node {node} min below parent {parent} max");
+                }
+                total += k;
+            }
+            for node in (m.heap_size + 1).max(2)..=self.opts.max_nodes {
+                assert_eq!(
+                    self.storage.state(node),
+                    NodeState::Empty,
+                    "node {node} beyond heap_size not EMPTY"
+                );
+            }
+            assert_eq!(total as i64, self.items.load(Ordering::Relaxed), "item count drift");
+            total
+        }
+    }
+}

@@ -1,0 +1,330 @@
+//! Linearization-point history recording and checking.
+//!
+//! Section 5 of the paper proves BGPQ linearizable by placing every
+//! operation's linearization point inside its root-lock critical
+//! section and showing the induced sequential history is valid. This
+//! module mechanizes that proof obligation:
+//!
+//! * while an operation holds the root lock (for the last time), the
+//!   heap assigns it a globally increasing sequence number and records
+//!   the keys it logically inserted/removed;
+//! * [`check_history`] replays the events in sequence-number order
+//!   against a trivially correct sequential batched priority queue and
+//!   verifies every DELETEMIN returned exactly the smallest keys then
+//!   present.
+//!
+//! Because the sequence numbers are drawn inside the critical sections,
+//! the replay order is a legal linearization; if the real results match
+//! it, the concurrent execution was linearizable.
+
+use parking_lot::Mutex;
+use pq_api::KeyType;
+use std::collections::BinaryHeap;
+
+/// One linearized operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HistoryOp<K> {
+    /// Keys inserted.
+    Insert { keys: Vec<K> },
+    /// Keys returned by a delete-min that asked for `requested` keys.
+    DeleteMin { requested: usize, keys: Vec<K> },
+}
+
+/// A recorded operation with its timing metadata (the paper's
+/// `op[s, acR, reR, t](x)` tuples, §5): `seq` is drawn inside the
+/// root-lock critical section (between `acR` and `reR`); `invoked` and
+/// `responded` are global logical timestamps taken at operation start
+/// and end.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistoryEvent<K> {
+    /// Linearization order (drawn while holding the root lock).
+    pub seq: u64,
+    /// Invocation timestamp (`s` in the paper's notation).
+    pub invoked: u64,
+    /// Response timestamp (`t`).
+    pub responded: u64,
+    pub op: HistoryOp<K>,
+}
+
+/// Thread-safe event sink attached to a queue under test.
+#[derive(Debug, Default)]
+pub struct HistoryRecorder<K> {
+    events: Mutex<Vec<HistoryEvent<K>>>,
+    /// Global logical clock for invocation/response timestamps.
+    clock: std::sync::atomic::AtomicU64,
+}
+
+impl<K: KeyType> HistoryRecorder<K> {
+    pub fn new() -> Self {
+        Self { events: Mutex::new(Vec::new()), clock: std::sync::atomic::AtomicU64::new(0) }
+    }
+
+    /// Draw an invocation/response timestamp.
+    pub fn tick(&self) -> u64 {
+        self.clock.fetch_add(1, std::sync::atomic::Ordering::AcqRel)
+    }
+
+    /// Record one completed operation.
+    pub fn record(&self, event: HistoryEvent<K>) {
+        self.events.lock().push(event);
+    }
+
+    /// Drain all events, sorted by sequence number.
+    pub fn take(&self) -> Vec<HistoryEvent<K>> {
+        let mut ev = std::mem::take(&mut *self.events.lock());
+        ev.sort_by_key(|e| e.seq);
+        ev
+    }
+}
+
+/// Failure description from [`check_history`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistoryViolation {
+    pub seq: u64,
+    pub detail: String,
+}
+
+/// Replay `events` (must be sorted by sequence number) against a
+/// sequential model and verify real-time consistency. Returns the first
+/// violation, or `None` if the history is a valid linearization.
+///
+/// Two obligations (Herlihy & Wing, as instantiated by the paper's §5):
+///
+/// 1. **Legal sequential history**: replaying the operations in `seq`
+///    order against a sequential batched priority queue reproduces every
+///    DELETEMIN's result exactly.
+/// 2. **Real-time order**: if operation `a` responded before operation
+///    `b` was invoked, then `a` is linearized before `b`
+///    (`seq_a < seq_b`) — linearization points lie within each
+///    operation's execution interval.
+pub fn check_history<K: KeyType>(events: &[HistoryEvent<K>]) -> Option<HistoryViolation> {
+    // Real-time order: in seq order, an event must never be invoked
+    // after the response of a *later-linearized* event. Equivalently,
+    // with suffix minima of `responded` over seq order, no event's
+    // `invoked` may exceed... check the pairwise condition via a
+    // running suffix-min scan from the right.
+    let n = events.len();
+    let mut suffix_min_resp = vec![u64::MAX; n + 1];
+    for i in (0..n).rev() {
+        suffix_min_resp[i] = suffix_min_resp[i + 1].min(events[i].responded);
+    }
+    for (i, e) in events.iter().enumerate() {
+        if suffix_min_resp[i + 1] < e.invoked {
+            return Some(HistoryViolation {
+                seq: e.seq,
+                detail: format!(
+                    "real-time order violated: an operation responded (t={}) before this \
+                     operation was invoked (s={}) yet was linearized after it",
+                    suffix_min_resp[i + 1],
+                    e.invoked
+                ),
+            });
+        }
+    }
+
+    // Legal sequential history: min-heap model of the abstract multiset.
+    let mut model: BinaryHeap<std::cmp::Reverse<K>> = BinaryHeap::new();
+    let mut last_seq = None;
+    for HistoryEvent { seq, op, .. } in events {
+        if let Some(prev) = last_seq {
+            if *seq <= prev {
+                return Some(HistoryViolation {
+                    seq: *seq,
+                    detail: format!("sequence numbers not strictly increasing ({prev} then {seq})"),
+                });
+            }
+        }
+        last_seq = Some(*seq);
+        match op {
+            HistoryOp::Insert { keys } => {
+                for &k in keys {
+                    model.push(std::cmp::Reverse(k));
+                }
+            }
+            HistoryOp::DeleteMin { requested, keys } => {
+                let expect_n = (*requested).min(model.len());
+                if keys.len() != expect_n {
+                    return Some(HistoryViolation {
+                        seq: *seq,
+                        detail: format!(
+                            "delete-min returned {} keys; expected {} (requested {}, model had {})",
+                            keys.len(),
+                            expect_n,
+                            requested,
+                            model.len()
+                        ),
+                    });
+                }
+                // The returned keys must be exactly the model's smallest,
+                // as multisets.
+                let mut expected = Vec::with_capacity(expect_n);
+                for _ in 0..expect_n {
+                    expected.push(model.pop().expect("sized above").0);
+                }
+                let mut got = keys.clone();
+                got.sort_unstable();
+                // `expected` pops in ascending order already.
+                if got != expected {
+                    return Some(HistoryViolation {
+                        seq: *seq,
+                        detail: format!(
+                            "delete-min returned {:?}... expected smallest {:?}...",
+                            &got[..got.len().min(8)],
+                            &expected[..expected.len().min(8)]
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Build an event whose execution interval is the instant
+    /// `2*seq` — sequential, non-overlapping, in seq order.
+    fn ev(seq: u64, op: HistoryOp<u32>) -> HistoryEvent<u32> {
+        HistoryEvent { seq, invoked: 2 * seq, responded: 2 * seq + 1, op }
+    }
+
+    #[test]
+    fn valid_history_passes() {
+        let events = vec![
+            ev(1, HistoryOp::Insert { keys: vec![5, 1, 9] }),
+            ev(2, HistoryOp::DeleteMin { requested: 2, keys: vec![1, 5] }),
+            ev(3, HistoryOp::Insert { keys: vec![0] }),
+            ev(4, HistoryOp::DeleteMin { requested: 5, keys: vec![0, 9] }),
+            ev(5, HistoryOp::DeleteMin { requested: 1, keys: vec![] }),
+        ];
+        assert_eq!(check_history(&events), None);
+    }
+
+    #[test]
+    fn wrong_minimum_is_caught() {
+        let events = vec![
+            ev(1, HistoryOp::Insert { keys: vec![5, 1] }),
+            ev(2, HistoryOp::DeleteMin { requested: 1, keys: vec![5] }),
+        ];
+        let v = check_history(&events).expect("must fail");
+        assert_eq!(v.seq, 2);
+    }
+
+    #[test]
+    fn short_return_with_nonempty_model_is_caught() {
+        let events = vec![
+            ev(1, HistoryOp::Insert { keys: vec![5, 1] }),
+            ev(2, HistoryOp::DeleteMin { requested: 2, keys: vec![1] }),
+        ];
+        assert!(check_history(&events).is_some());
+    }
+
+    #[test]
+    fn nonmonotone_seq_is_caught() {
+        let events = vec![
+            HistoryEvent {
+                seq: 2,
+                invoked: 0,
+                responded: 1,
+                op: HistoryOp::Insert { keys: vec![1u32] },
+            },
+            HistoryEvent {
+                seq: 2,
+                invoked: 2,
+                responded: 3,
+                op: HistoryOp::Insert { keys: vec![2] },
+            },
+        ];
+        assert!(check_history(&events).is_some());
+    }
+
+    #[test]
+    fn real_time_violation_is_caught() {
+        // Op B (seq 2) responded at t=3 *before* op A (seq 1) was even
+        // invoked at t=10 — linearizing A before B is illegal.
+        let events = vec![
+            HistoryEvent {
+                seq: 1,
+                invoked: 10,
+                responded: 12,
+                op: HistoryOp::Insert { keys: vec![1u32] },
+            },
+            HistoryEvent {
+                seq: 2,
+                invoked: 2,
+                responded: 3,
+                op: HistoryOp::Insert { keys: vec![2] },
+            },
+        ];
+        let v = check_history(&events).expect("must fail");
+        assert!(v.detail.contains("real-time"), "{}", v.detail);
+    }
+
+    #[test]
+    fn overlapping_intervals_may_linearize_either_way() {
+        // Both ops run concurrently (intervals overlap); either seq
+        // order is legal.
+        let events = vec![
+            HistoryEvent {
+                seq: 1,
+                invoked: 5,
+                responded: 20,
+                op: HistoryOp::Insert { keys: vec![1u32] },
+            },
+            HistoryEvent {
+                seq: 2,
+                invoked: 0,
+                responded: 30,
+                op: HistoryOp::Insert { keys: vec![2] },
+            },
+        ];
+        assert_eq!(check_history(&events), None);
+    }
+
+    #[test]
+    fn recorder_sorts_by_seq() {
+        let rec = HistoryRecorder::<u32>::new();
+        rec.record(HistoryEvent {
+            seq: 3,
+            invoked: 0,
+            responded: 1,
+            op: HistoryOp::Insert { keys: vec![3] },
+        });
+        rec.record(HistoryEvent {
+            seq: 1,
+            invoked: 2,
+            responded: 3,
+            op: HistoryOp::Insert { keys: vec![1] },
+        });
+        rec.record(HistoryEvent {
+            seq: 2,
+            invoked: 4,
+            responded: 5,
+            op: HistoryOp::Insert { keys: vec![2] },
+        });
+        let e = rec.take();
+        assert_eq!(e.iter().map(|x| x.seq).collect::<Vec<_>>(), vec![1, 2, 3]);
+        assert!(rec.take().is_empty(), "take drains");
+    }
+
+    #[test]
+    fn ticks_are_unique_and_increasing() {
+        let rec = HistoryRecorder::<u32>::new();
+        let a = rec.tick();
+        let b = rec.tick();
+        let c = rec.tick();
+        assert!(a < b && b < c);
+    }
+
+    #[test]
+    fn duplicate_keys_compare_as_multisets() {
+        let events = vec![
+            ev(1, HistoryOp::Insert { keys: vec![2, 2, 2, 1] }),
+            ev(2, HistoryOp::DeleteMin { requested: 3, keys: vec![1, 2, 2] }),
+            ev(3, HistoryOp::DeleteMin { requested: 2, keys: vec![2] }),
+        ];
+        assert_eq!(check_history(&events), None);
+    }
+}

@@ -1,0 +1,96 @@
+//! Construction options and ablation toggles.
+
+use primitives::SortAlgo;
+
+/// Configuration of a [`crate::Bgpq`] instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BgpqOptions {
+    /// Batch node capacity `k` (keys per node). The paper's default
+    /// configuration uses 1024 (§6.1). Any `k >= 1` works; `k = 1`
+    /// degenerates to a classical one-key-per-node concurrent heap.
+    pub node_capacity: usize,
+    /// Maximum number of heap nodes. Total key capacity is
+    /// `node_capacity * max_nodes` (+ the partial buffer).
+    pub max_nodes: usize,
+    /// Ablation (a): route inserts through the partial buffer (§3.2).
+    /// When disabled, full batches trigger an insert-heapify
+    /// immediately; partial batches still use the buffer (they cannot
+    /// form a full node).
+    pub use_partial_buffer: bool,
+    /// Ablation (b): TARGET/MARKED key stealing between a DELETEMIN and
+    /// an in-flight INSERT (§4.3). When disabled, a delete finding its
+    /// refill node in state TARGET waits for the insertion to finish
+    /// instead of collaborating.
+    pub use_collaboration: bool,
+    /// Which GPU sorting primitive batch pre-sorts are *costed* as on
+    /// the simulator (§4 names bitonic, merge and radix sort; the paper
+    /// uses bitonic). The sorted result is identical for all three, so
+    /// this knob affects only the virtual-time charge.
+    pub sort_algo: SortAlgo,
+}
+
+impl BgpqOptions {
+    /// The paper's evaluation configuration: k = 1024.
+    pub fn paper_default() -> Self {
+        Self::with_capacity_for(1024, 64 << 20)
+    }
+
+    /// Options sized to hold at least `items` keys with node capacity
+    /// `k`.
+    pub fn with_capacity_for(k: usize, items: usize) -> Self {
+        let max_nodes = (items.div_ceil(k.max(1)) + 2).max(3);
+        Self {
+            node_capacity: k,
+            max_nodes,
+            use_partial_buffer: true,
+            use_collaboration: true,
+            sort_algo: SortAlgo::Bitonic,
+        }
+    }
+
+    pub fn validate(&self) {
+        assert!(self.node_capacity >= 1, "node capacity must be >= 1");
+        assert!(self.max_nodes >= 1, "need at least the root node");
+    }
+
+    /// Total key capacity of the heap body (excluding the buffer).
+    pub fn capacity_items(&self) -> usize {
+        self.node_capacity * self.max_nodes
+    }
+}
+
+impl Default for BgpqOptions {
+    fn default() -> Self {
+        Self {
+            node_capacity: 1024,
+            max_nodes: 1 << 16,
+            use_partial_buffer: true,
+            use_collaboration: true,
+            sort_algo: SortAlgo::Bitonic,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacity_for_holds_requested_items() {
+        let o = BgpqOptions::with_capacity_for(256, 100_000);
+        assert!(o.capacity_items() >= 100_000);
+        o.validate();
+    }
+
+    #[test]
+    fn defaults_are_valid() {
+        BgpqOptions::default().validate();
+        BgpqOptions::paper_default().validate();
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_capacity_rejected() {
+        BgpqOptions { node_capacity: 0, ..Default::default() }.validate();
+    }
+}

@@ -1,0 +1,117 @@
+//! Implicit-binary-tree index arithmetic.
+//!
+//! The batched heap is stored as an array with 1-based node indices
+//! (root = 1, children of `i` at `2i` and `2i+1`) — "the index of child
+//! or parent nodes can be calculated using simple arithmetic operations"
+//! (§2.1). Insertion heapify walks the unique root→target path, which is
+//! encoded in the target index's binary representation.
+
+/// Index of the root node.
+pub const ROOT: usize = 1;
+
+/// Parent of node `i` (`i >= 2`).
+#[inline]
+pub fn parent(i: usize) -> usize {
+    debug_assert!(i >= 2, "root has no parent");
+    i >> 1
+}
+
+/// Left child of node `i`.
+#[inline]
+pub fn left(i: usize) -> usize {
+    i << 1
+}
+
+/// Right child of node `i`.
+#[inline]
+pub fn right(i: usize) -> usize {
+    (i << 1) | 1
+}
+
+/// Depth of node `i` (root at level 0).
+#[inline]
+pub fn level(i: usize) -> u32 {
+    debug_assert!(i >= 1);
+    usize::BITS - 1 - i.leading_zeros()
+}
+
+/// True if `a` is an ancestor of (or equal to) `b`.
+#[inline]
+pub fn is_ancestor_or_self(a: usize, b: usize) -> bool {
+    let (la, lb) = (level(a), level(b));
+    la <= lb && (b >> (lb - la)) == a
+}
+
+/// The next node after `cur` on the root→`tar` path (`cur` must be a
+/// strict ancestor of `tar`). This is the paper's `NEXT(cur, tar)`.
+#[inline]
+pub fn next_on_path(cur: usize, tar: usize) -> usize {
+    debug_assert!(is_ancestor_or_self(cur, tar) && cur != tar, "cur={cur} tar={tar}");
+    let d = level(tar) - level(cur);
+    tar >> (d - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn family_relations() {
+        assert_eq!(left(1), 2);
+        assert_eq!(right(1), 3);
+        assert_eq!(parent(2), 1);
+        assert_eq!(parent(3), 1);
+        assert_eq!(parent(7), 3);
+        assert_eq!(left(5), 10);
+        assert_eq!(right(5), 11);
+    }
+
+    #[test]
+    fn levels() {
+        assert_eq!(level(1), 0);
+        assert_eq!(level(2), 1);
+        assert_eq!(level(3), 1);
+        assert_eq!(level(4), 2);
+        assert_eq!(level(7), 2);
+        assert_eq!(level(8), 3);
+    }
+
+    #[test]
+    fn ancestry() {
+        assert!(is_ancestor_or_self(1, 13));
+        assert!(is_ancestor_or_self(3, 13));
+        assert!(is_ancestor_or_self(6, 13));
+        assert!(is_ancestor_or_self(13, 13));
+        assert!(!is_ancestor_or_self(2, 13));
+        assert!(!is_ancestor_or_self(12, 13));
+    }
+
+    #[test]
+    fn path_walk_reaches_target() {
+        // Path to 13: 1 -> 3 -> 6 -> 13.
+        let mut cur = ROOT;
+        let mut path = vec![cur];
+        while cur != 13 {
+            cur = next_on_path(cur, 13);
+            path.push(cur);
+        }
+        assert_eq!(path, vec![1, 3, 6, 13]);
+    }
+
+    #[test]
+    fn path_walk_all_targets() {
+        for tar in 1usize..=64 {
+            let mut cur = ROOT;
+            let mut steps = 0;
+            while cur != tar {
+                let next = next_on_path(cur, tar);
+                assert!(next == left(cur) || next == right(cur), "must step to a child");
+                assert!(is_ancestor_or_self(next, tar));
+                cur = next;
+                steps += 1;
+                assert!(steps <= 7, "path too long for tar={tar}");
+            }
+            assert_eq!(steps, level(tar));
+        }
+    }
+}

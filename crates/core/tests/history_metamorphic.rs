@@ -1,0 +1,98 @@
+//! Metamorphic tests for the linearizability checker itself: histories
+//! generated from a correct sequential model must always pass, and
+//! random single-point corruptions must be caught.
+
+use bgpq::{check_history, HistoryEvent, HistoryOp};
+use proptest::prelude::*;
+use std::collections::BinaryHeap;
+
+/// Generate a *valid* history by simulating a sequential batched queue.
+fn valid_history(ops: &[(bool, Vec<u32>, usize)]) -> Vec<HistoryEvent<u32>> {
+    let mut model: BinaryHeap<std::cmp::Reverse<u32>> = BinaryHeap::new();
+    let mut events = Vec::new();
+    let mut clock = 0u64;
+    for (i, (is_insert, keys, want)) in ops.iter().enumerate() {
+        let seq = i as u64 + 1;
+        let invoked = clock;
+        clock += 1;
+        let op = if *is_insert {
+            for &k in keys {
+                model.push(std::cmp::Reverse(k));
+            }
+            HistoryOp::Insert { keys: keys.clone() }
+        } else {
+            let n = (*want).max(1);
+            let mut got = Vec::new();
+            for _ in 0..n {
+                match model.pop() {
+                    Some(std::cmp::Reverse(k)) => got.push(k),
+                    None => break,
+                }
+            }
+            HistoryOp::DeleteMin { requested: n, keys: got }
+        };
+        let responded = clock;
+        clock += 1;
+        events.push(HistoryEvent { seq, invoked, responded, op });
+    }
+    events
+}
+
+fn ops_strategy() -> impl Strategy<Value = Vec<(bool, Vec<u32>, usize)>> {
+    proptest::collection::vec(
+        (any::<bool>(), proptest::collection::vec(0u32..1000, 1..5), 1usize..5),
+        1..40,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn model_generated_histories_always_pass(ops in ops_strategy()) {
+        let events = valid_history(&ops);
+        prop_assert_eq!(check_history(&events), None);
+    }
+
+    #[test]
+    fn corrupted_delete_results_are_caught(ops in ops_strategy(), pick in any::<prop::sample::Index>()) {
+        let mut events = valid_history(&ops);
+        // Find a delete that returned at least one key and corrupt it.
+        let del_idxs: Vec<usize> = events
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| matches!(&e.op, HistoryOp::DeleteMin { keys, .. } if !keys.is_empty()))
+            .map(|(i, _)| i)
+            .collect();
+        prop_assume!(!del_idxs.is_empty());
+        let idx = del_idxs[pick.index(del_idxs.len())];
+        if let HistoryOp::DeleteMin { keys, .. } = &mut events[idx].op {
+            // Shift a returned key above the key domain: it can never be
+            // the model's minimum.
+            keys[0] = 5_000;
+        }
+        prop_assert!(check_history(&events).is_some(), "corruption must be detected");
+    }
+
+    #[test]
+    fn swapped_linearization_order_of_dependent_ops_is_caught(
+        k in 0u32..100,
+    ) {
+        // Delete returns k before any insert of k happened.
+        let events = vec![
+            HistoryEvent {
+                seq: 1,
+                invoked: 0,
+                responded: 1,
+                op: HistoryOp::DeleteMin { requested: 1, keys: vec![k] },
+            },
+            HistoryEvent {
+                seq: 2,
+                invoked: 2,
+                responded: 3,
+                op: HistoryOp::Insert { keys: vec![k] },
+            },
+        ];
+        prop_assert!(check_history(&events).is_some());
+    }
+}

@@ -1,0 +1,45 @@
+//! # gpu-sim — a virtual-time SIMT execution simulator
+//!
+//! The paper evaluates BGPQ on an NVIDIA TITAN X; this environment has
+//! neither a GPU nor mature Rust CUDA tooling (repro band 3), and a
+//! single host core cannot demonstrate parallel speedups by wall clock.
+//! This crate substitutes the device with a **discrete-event simulation
+//! in virtual time**:
+//!
+//! * each simulated *thread block* is an agent backed by an OS thread;
+//! * agents advance a virtual clock by the cycle cost of the primitives
+//!   they execute (costs from [`primitives::CostModel`], derived from the
+//!   primitives' actual lock-step schedules);
+//! * scheduler-mediated locks and barriers model inter-block
+//!   synchronization, with waiting time accounted in virtual cycles;
+//! * the scheduler always runs the minimal-virtual-time ready agent, so
+//!   a run is deterministic and its *makespan* (max agent finish time)
+//!   is the simulated kernel duration — independent work overlaps,
+//!   contended work serializes, exactly the effects Fig. 6 and Table 2
+//!   measure.
+//!
+//! See `DESIGN.md` §2 for why this substitution preserves the paper's
+//! claims and what it cannot capture (absolute milliseconds).
+//!
+//! ```
+//! use gpu_sim::{launch, GpuConfig};
+//! use primitives::PrimitiveCost;
+//!
+//! // 8 blocks each bitonic-sort a 1024-key batch, fully in parallel.
+//! let (report, ()) = launch(GpuConfig::new(8, 512), |_sched| (), |ctx, _| {
+//!     ctx.charge(PrimitiveCost::GlobalRead { n: 1024 });
+//!     ctx.charge(PrimitiveCost::Sort { n: 1024 });
+//!     ctx.charge(PrimitiveCost::GlobalWrite { n: 1024 });
+//! });
+//! assert!(report.makespan_ms > 0.0);
+//! ```
+
+pub mod config;
+pub mod sched;
+pub mod vm;
+
+pub use config::GpuConfig;
+pub use sched::{
+    AgentId, BarrierId, LockId, Scheduler, SimMetrics, SimWorker, TraceEvent, TraceKind,
+};
+pub use vm::{launch, launch_phased, BlockCtx, PhaseKernel, SimReport};

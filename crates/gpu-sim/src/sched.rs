@@ -1,0 +1,853 @@
+//! Virtual-time scheduler.
+//!
+//! Every simulated thread block is an *agent* backed by an OS thread. The
+//! scheduler enforces the discrete-event-simulation invariant:
+//!
+//! > at any moment exactly one agent executes, and it is always a ready
+//! > agent with the minimal virtual time (ties broken deterministically).
+//!
+//! Agents advance their own clocks by calling [`SimWorker::advance`] with
+//! the cycle cost of whatever they just simulated; blocking operations
+//! (locks, barriers) park the agent until another agent's event releases
+//! it, resuming its clock at the release's virtual time. Because agents
+//! only interact through scheduler-mediated operations, a run is fully
+//! deterministic: same kernel + same parameters ⇒ same interleaving and
+//! same final virtual time, regardless of host thread scheduling. That
+//! determinism is what lets a 1-core host reproduce the *parallel*
+//! performance shapes of a 28-SM GPU (see DESIGN.md §2).
+//!
+//! Blocked agents are excluded from the min-time rule: their next event
+//! time is unknown but provably ≥ the virtual time of the (ordered)
+//! release event that will wake them, so running the min *ready* agent
+//! never violates causality.
+
+use parking_lot::{Condvar, Mutex};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+use std::sync::Arc;
+
+/// Index of an agent (simulated thread block) within one simulation run.
+pub type AgentId = usize;
+
+/// Index of a simulated lock in the scheduler's lock arena.
+pub type LockId = usize;
+
+/// Index of a simulated barrier.
+pub type BarrierId = usize;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Status {
+    /// Thread not yet registered via `begin`.
+    NotStarted,
+    /// In the ready heap, waiting for the grant.
+    Ready,
+    /// Currently executing (at most one agent).
+    Running,
+    /// Parked in some lock's waiter queue.
+    BlockedOnLock(LockId),
+    /// Parked at a barrier.
+    BlockedOnBarrier(BarrierId),
+    /// Finished (or unwound).
+    Done,
+}
+
+#[derive(Debug, Default)]
+struct LockState {
+    holder: Option<AgentId>,
+    /// FIFO queue; enqueues happen in virtual-time order because every
+    /// acquire attempt executes in global virtual-time order.
+    waiters: VecDeque<(AgentId, u64 /* enqueue vtime */)>,
+}
+
+#[derive(Debug, Default)]
+struct BarrierState {
+    parties: usize,
+    arrived: Vec<AgentId>,
+    max_vtime: u64,
+}
+
+/// What happened at a traced instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceKind {
+    /// Agent was granted the (virtual) processor.
+    Granted,
+    /// Agent blocked waiting for a lock.
+    LockWait(LockId),
+    /// Agent acquired a lock (immediately or by handoff).
+    LockAcquired(LockId),
+    /// Agent released a lock.
+    LockReleased(LockId),
+    /// Agent arrived at a barrier.
+    BarrierArrive(BarrierId),
+    /// Agent finished.
+    Finished,
+}
+
+/// One trace record: `(virtual time, agent, event)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    pub vtime: u64,
+    pub agent: AgentId,
+    pub kind: TraceKind,
+}
+
+/// Aggregate counters for one simulation run.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct SimMetrics {
+    /// Successful lock acquisitions.
+    pub lock_acquisitions: u64,
+    /// Acquisitions that had to wait for a holder.
+    pub lock_contended: u64,
+    /// Total virtual cycles agents spent parked in lock queues.
+    pub lock_wait_cycles: u64,
+    /// `advance` calls (≈ charge points executed).
+    pub advances: u64,
+    /// Times the grant moved between different agents (context switches
+    /// in virtual time).
+    pub switches: u64,
+}
+
+struct SchedInner {
+    vtime: Vec<u64>,
+    status: Vec<Status>,
+    /// Grant flags: `granted[i]` set ⇒ agent `i` may transition to
+    /// Running as soon as its thread observes it.
+    granted: Vec<bool>,
+    ready: BinaryHeap<Reverse<(u64, u64, AgentId)>>,
+    seq: u64,
+    live: usize,
+    not_started: usize,
+    last_running: Option<AgentId>,
+    locks: Vec<LockState>,
+    barriers: Vec<BarrierState>,
+    metrics: SimMetrics,
+    /// Set if an agent unwound; the run will propagate the panic.
+    poisoned: bool,
+    /// Schedule-fuzzing seed: randomizes tie-breaking among equal
+    /// virtual times so repeated runs explore different (deterministic
+    /// per seed) interleavings.
+    tie_seed: Option<u64>,
+    /// Event trace (empty unless enabled); bounded by `trace_capacity`.
+    trace: Vec<TraceEvent>,
+    trace_capacity: usize,
+}
+
+/// The virtual-time scheduler shared by all agents of one run.
+pub struct Scheduler {
+    inner: Mutex<SchedInner>,
+    /// One condvar per agent, all paired with `inner`.
+    cvs: Vec<Condvar>,
+    /// Extra virtual cycles charged when a lock is handed to a waiter
+    /// (models the atomic release/acquire round trip).
+    lock_handoff_cycles: u64,
+}
+
+impl Scheduler {
+    /// Create a scheduler for `agents` simulated blocks.
+    pub fn new(agents: usize) -> Arc<Self> {
+        assert!(agents >= 1, "need at least one agent");
+        Arc::new(Self {
+            inner: Mutex::new(SchedInner {
+                vtime: vec![0; agents],
+                status: vec![Status::NotStarted; agents],
+                granted: vec![false; agents],
+                ready: BinaryHeap::new(),
+                // Tie keys 0..agents are reserved for the (deterministic,
+                // id-ordered) registration pushes; runtime pushes start
+                // above them.
+                seq: agents as u64,
+                live: agents,
+                not_started: agents,
+                last_running: None,
+                locks: Vec::new(),
+                barriers: Vec::new(),
+                metrics: SimMetrics::default(),
+                poisoned: false,
+                tie_seed: None,
+                trace: Vec::new(),
+                trace_capacity: 0,
+            }),
+            cvs: (0..agents).map(|_| Condvar::new()).collect(),
+            lock_handoff_cycles: 200,
+        })
+    }
+
+    /// Number of agents in this run.
+    pub fn agent_count(&self) -> usize {
+        self.cvs.len()
+    }
+
+    /// Allocate `n` simulated locks; returns the id of the first (ids are
+    /// contiguous). May be called before or during the run.
+    pub fn create_locks(&self, n: usize) -> LockId {
+        let mut inner = self.inner.lock();
+        let base = inner.locks.len();
+        inner.locks.resize_with(base + n, LockState::default);
+        base
+    }
+
+    /// Allocate a barrier for `parties` agents.
+    pub fn create_barrier(&self, parties: usize) -> BarrierId {
+        assert!(parties >= 1);
+        let mut inner = self.inner.lock();
+        let id = inner.barriers.len();
+        inner.barriers.push(BarrierState { parties, arrived: Vec::new(), max_vtime: 0 });
+        id
+    }
+
+    /// Build the worker handle for agent `id`. Each id must be claimed by
+    /// exactly one thread, which must call [`SimWorker::begin`] before
+    /// any other operation.
+    pub fn worker(self: &Arc<Self>, id: AgentId) -> SimWorker {
+        assert!(id < self.cvs.len(), "agent id out of range");
+        SimWorker { id, sched: Arc::clone(self), started: false, finished: false }
+    }
+
+    /// Snapshot metrics (exact once the run has finished).
+    pub fn metrics(&self) -> SimMetrics {
+        self.inner.lock().metrics
+    }
+
+    /// Enable schedule fuzzing: agents with *equal* virtual times are
+    /// ordered pseudo-randomly (deterministically per `seed`) instead of
+    /// by arrival, and the keep-running fast path is disabled, so
+    /// different seeds explore different legal interleavings — a
+    /// systematic-concurrency-testing aid for the linearizability suite.
+    /// Must be called before any agent begins.
+    pub fn set_tie_seed(&self, seed: u64) {
+        self.inner.lock().tie_seed = Some(seed);
+    }
+
+    /// Enable event tracing, keeping at most `capacity` events (older
+    /// events are dropped first).
+    pub fn enable_trace(&self, capacity: usize) {
+        let mut inner = self.inner.lock();
+        inner.trace_capacity = capacity;
+        inner.trace.reserve(capacity.min(1 << 20));
+    }
+
+    /// Drain the recorded trace (in emission order).
+    pub fn take_trace(&self) -> Vec<TraceEvent> {
+        std::mem::take(&mut self.inner.lock().trace)
+    }
+
+    fn trace(inner: &mut SchedInner, agent: AgentId, kind: TraceKind) {
+        if inner.trace_capacity == 0 {
+            return;
+        }
+        if inner.trace.len() >= inner.trace_capacity {
+            inner.trace.remove(0);
+        }
+        let vtime = inner.vtime[agent];
+        inner.trace.push(TraceEvent { vtime, agent, kind });
+    }
+
+    /// Prepare the scheduler for another wave of agents (a kernel
+    /// relaunch): every agent slot is reset to `NotStarted` with its
+    /// clock advanced to the previous wave's makespan plus
+    /// `relaunch_cycles`. All agents of the previous wave must have
+    /// finished.
+    pub fn begin_wave(&self, relaunch_cycles: u64) {
+        let mut inner = self.inner.lock();
+        assert_eq!(inner.live, 0, "begin_wave with agents still live");
+        assert!(!inner.poisoned, "begin_wave on a poisoned scheduler");
+        let resume = inner.vtime.iter().copied().max().unwrap_or(0) + relaunch_cycles;
+        let n = inner.status.len();
+        for i in 0..n {
+            inner.vtime[i] = resume;
+            inner.status[i] = Status::NotStarted;
+            inner.granted[i] = false;
+        }
+        inner.ready.clear();
+        inner.live = n;
+        inner.not_started = n;
+        inner.last_running = None;
+        // Lock arena is preserved: all locks must be free between waves.
+        for (i, l) in inner.locks.iter().enumerate() {
+            assert!(
+                l.holder.is_none() && l.waiters.is_empty(),
+                "lock {i} still held across a wave boundary"
+            );
+        }
+    }
+
+    /// Maximum virtual finish time across agents — the simulated
+    /// wall-clock of the kernel, valid after all agents finished.
+    pub fn makespan(&self) -> u64 {
+        let inner = self.inner.lock();
+        inner.vtime.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Per-agent virtual clocks (finish times once the run completed).
+    pub fn agent_vtimes(&self) -> Vec<u64> {
+        self.inner.lock().vtime.clone()
+    }
+
+    // ------------------------------------------------------------------
+    // internals — all take the inner guard
+    // ------------------------------------------------------------------
+
+    fn push_ready(inner: &mut SchedInner, id: AgentId) {
+        inner.status[id] = Status::Ready;
+        inner.seq += 1;
+        let seq = inner.seq;
+        // Tie key: arrival order normally; a seeded hash under fuzzing.
+        let tie = match inner.tie_seed {
+            None => seq,
+            Some(s) => {
+                let mut z = s ^ seq.wrapping_mul(0x9E3779B97F4A7C15) ^ (id as u64) << 32;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+                z ^ (z >> 31)
+            }
+        };
+        inner.ready.push(Reverse((inner.vtime[id], tie, id)));
+    }
+
+    /// Grant the CPU to the minimal ready agent if nothing is running.
+    fn dispatch(&self, inner: &mut SchedInner) {
+        if inner.poisoned {
+            // Wake everyone so blocked threads can unwind.
+            for id in 0..inner.status.len() {
+                if inner.status[id] != Status::Done {
+                    inner.granted[id] = true;
+                    self.cvs[id].notify_one();
+                }
+            }
+            return;
+        }
+        // Start gate: no agent may execute until every agent has
+        // registered, otherwise an early thread could run ahead of
+        // virtual time while its peers are still spawning.
+        if inner.not_started > 0 {
+            return;
+        }
+        if let Some(running) = inner.last_running {
+            if inner.status[running] == Status::Running {
+                return; // someone is executing
+            }
+        }
+        while let Some(&Reverse((_, _, id))) = inner.ready.peek() {
+            // Lazily skip stale heap entries (an agent can be re-pushed).
+            if inner.status[id] != Status::Ready {
+                inner.ready.pop();
+                continue;
+            }
+            inner.ready.pop();
+            if inner.last_running != Some(id) {
+                inner.metrics.switches += 1;
+            }
+            inner.last_running = Some(id);
+            inner.status[id] = Status::Running;
+            inner.granted[id] = true;
+            Self::trace(inner, id, TraceKind::Granted);
+            self.cvs[id].notify_one();
+            return;
+        }
+        // Nothing ready. If agents remain but none can ever run, the
+        // simulated program deadlocked: poison the run and release every
+        // parked thread so they can unwind instead of hanging.
+        if inner.live > 0 && inner.not_started == 0 {
+            let states: Vec<(AgentId, Status, u64)> = inner
+                .status
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| !matches!(s, Status::Done))
+                .map(|(i, s)| (i, *s, inner.vtime[i]))
+                .collect();
+            inner.poisoned = true;
+            for id in 0..inner.status.len() {
+                if inner.status[id] != Status::Done {
+                    inner.granted[id] = true;
+                    self.cvs[id].notify_one();
+                }
+            }
+            panic!("gpu-sim: deadlock — all live agents are blocked: {states:?}");
+        }
+    }
+
+    /// Park the calling agent until its grant flag is raised.
+    fn wait_for_grant(&self, inner: &mut parking_lot::MutexGuard<'_, SchedInner>, id: AgentId) {
+        loop {
+            if inner.granted[id] {
+                inner.granted[id] = false;
+                if inner.poisoned {
+                    panic!("gpu-sim: aborting agent {id}: another agent panicked");
+                }
+                inner.status[id] = Status::Running;
+                inner.last_running = Some(id);
+                return;
+            }
+            self.cvs[id].wait(inner);
+        }
+    }
+}
+
+/// Per-agent handle through which a simulated block interacts with
+/// virtual time. Not `Clone`: exactly one per agent.
+pub struct SimWorker {
+    id: AgentId,
+    sched: Arc<Scheduler>,
+    started: bool,
+    finished: bool,
+}
+
+impl SimWorker {
+    /// This agent's id.
+    pub fn id(&self) -> AgentId {
+        self.id
+    }
+
+    /// The scheduler this worker belongs to.
+    pub fn scheduler(&self) -> &Arc<Scheduler> {
+        &self.sched
+    }
+
+    /// Register with the scheduler and wait for the first grant. Must be
+    /// the first call made on the worker.
+    pub fn begin(&mut self) {
+        assert!(!self.started, "begin() called twice");
+        self.started = true;
+        let sched = Arc::clone(&self.sched);
+        let mut inner = sched.inner.lock();
+        inner.not_started -= 1;
+        // Registration order is OS-scheduling dependent; use the agent
+        // id (optionally hashed under fuzzing) as the tie key so the
+        // initial schedule is deterministic regardless of which thread
+        // registered first.
+        inner.status[self.id] = Status::Ready;
+        let tie = match inner.tie_seed {
+            None => self.id as u64,
+            Some(s) => {
+                let mut z = s ^ (self.id as u64).wrapping_mul(0x9E3779B97F4A7C15);
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+                z ^ (z >> 31)
+            }
+        };
+        let vt = inner.vtime[self.id];
+        inner.ready.push(Reverse((vt, tie, self.id)));
+        // Mark nothing-running if we are first; dispatch picks min.
+        if inner.last_running.is_none()
+            || inner.status[inner.last_running.unwrap()] != Status::Running
+        {
+            sched.dispatch(&mut inner);
+        }
+        sched.wait_for_grant(&mut inner, self.id);
+    }
+
+    /// Current virtual time of this agent.
+    pub fn now(&self) -> u64 {
+        self.sched.inner.lock().vtime[self.id]
+    }
+
+    /// Advance this agent's clock by `cycles` and yield to any agent with
+    /// a smaller virtual time.
+    pub fn advance(&mut self, cycles: u64) {
+        debug_assert!(self.started && !self.finished);
+        let sched = Arc::clone(&self.sched);
+        let mut inner = sched.inner.lock();
+        inner.vtime[self.id] += cycles;
+        inner.metrics.advances += 1;
+        // Fast path: still the minimum → keep running, no switch.
+        // Disabled under schedule fuzzing so ties reshuffle.
+        let my_t = inner.vtime[self.id];
+        let fuzzing = inner.tie_seed.is_some();
+        loop {
+            match inner.ready.peek() {
+                Some(&Reverse((t, _, cand))) => {
+                    if inner.status[cand] != Status::Ready {
+                        inner.ready.pop(); // stale
+                        continue;
+                    }
+                    if !fuzzing && t >= my_t {
+                        return; // we remain the minimum
+                    }
+                    if fuzzing && t > my_t {
+                        return;
+                    }
+                    break; // someone earlier (or tied, fuzzing) → yield
+                }
+                None => return,
+            }
+        }
+        Scheduler::push_ready(&mut inner, self.id);
+        sched.dispatch(&mut inner);
+        sched.wait_for_grant(&mut inner, self.id);
+    }
+
+    /// Yield without advancing time (lets equal-time agents interleave).
+    pub fn yield_now(&mut self) {
+        self.advance(0);
+    }
+
+    /// Acquire simulated lock `lock`. FIFO; blocks in virtual time while
+    /// held. The caller is charged `atomic_cycles` for the lock word
+    /// round trip before the attempt.
+    pub fn lock(&mut self, lock: LockId, atomic_cycles: u64) {
+        self.advance(atomic_cycles);
+        let sched = Arc::clone(&self.sched);
+        let mut inner = sched.inner.lock();
+        inner.metrics.lock_acquisitions += 1;
+        let me = self.id;
+        let now = inner.vtime[me];
+        if inner.locks[lock].holder.is_none() {
+            inner.locks[lock].holder = Some(me);
+            Scheduler::trace(&mut inner, me, TraceKind::LockAcquired(lock));
+        } else {
+            inner.metrics.lock_contended += 1;
+            inner.locks[lock].waiters.push_back((me, now));
+            inner.status[me] = Status::BlockedOnLock(lock);
+            Scheduler::trace(&mut inner, me, TraceKind::LockWait(lock));
+            sched.dispatch(&mut inner);
+            sched.wait_for_grant(&mut inner, me);
+            // When granted here the releaser already made us holder.
+            debug_assert_eq!(inner.locks[lock].holder, Some(me));
+            Scheduler::trace(&mut inner, me, TraceKind::LockAcquired(lock));
+        }
+    }
+
+    /// Try to acquire `lock`; never blocks. Charged like a lock attempt.
+    pub fn try_lock(&mut self, lock: LockId, atomic_cycles: u64) -> bool {
+        self.advance(atomic_cycles);
+        let sched = Arc::clone(&self.sched);
+        let mut inner = sched.inner.lock();
+        inner.metrics.lock_acquisitions += 1;
+        let me = self.id;
+        if inner.locks[lock].holder.is_none() {
+            inner.locks[lock].holder = Some(me);
+            true
+        } else {
+            inner.metrics.lock_contended += 1;
+            false
+        }
+    }
+
+    /// Release `lock`, handing it to the oldest waiter (whose clock jumps
+    /// to the release time plus the handoff cost).
+    pub fn unlock(&mut self, lock: LockId, atomic_cycles: u64) {
+        self.advance(atomic_cycles);
+        let sched = Arc::clone(&self.sched);
+        let mut inner = sched.inner.lock();
+        let me = self.id;
+        let now = inner.vtime[me];
+        let handoff = sched.lock_handoff_cycles;
+        assert_eq!(inner.locks[lock].holder, Some(me), "unlock of a lock not held by agent {me}");
+        Scheduler::trace(&mut inner, me, TraceKind::LockReleased(lock));
+        match inner.locks[lock].waiters.pop_front() {
+            Some((next, enq_t)) => {
+                inner.locks[lock].holder = Some(next);
+                let resume = now.max(enq_t) + handoff;
+                inner.metrics.lock_wait_cycles += resume.saturating_sub(enq_t);
+                inner.vtime[next] = inner.vtime[next].max(resume);
+                Scheduler::push_ready(&mut inner, next);
+                // The new holder may now be the global minimum; yield if
+                // our own time is no longer minimal.
+                drop(inner);
+                self.yield_now();
+            }
+            None => {
+                inner.locks[lock].holder = None;
+            }
+        }
+    }
+
+    /// Wait at barrier `b`. All parties resume at the max arrival time.
+    pub fn barrier_wait(&mut self, b: BarrierId, sync_cycles: u64) {
+        let sched = Arc::clone(&self.sched);
+        let mut inner = sched.inner.lock();
+        let me = self.id;
+        let now = inner.vtime[me];
+        Scheduler::trace(&mut inner, me, TraceKind::BarrierArrive(b));
+        let max_vtime = inner.barriers[b].max_vtime.max(now);
+        inner.barriers[b].max_vtime = max_vtime;
+        inner.barriers[b].arrived.push(me);
+        if inner.barriers[b].arrived.len() == inner.barriers[b].parties {
+            let resume = max_vtime + sync_cycles;
+            let arrived = std::mem::take(&mut inner.barriers[b].arrived);
+            inner.barriers[b].max_vtime = 0;
+            for a in arrived {
+                inner.vtime[a] = resume;
+                if a != me {
+                    Scheduler::push_ready(&mut inner, a);
+                }
+            }
+            // Ourselves: keep running but maybe no longer minimal.
+            drop(inner);
+            self.yield_now();
+        } else {
+            inner.status[me] = Status::BlockedOnBarrier(b);
+            sched.dispatch(&mut inner);
+            sched.wait_for_grant(&mut inner, me);
+        }
+    }
+
+    /// Mark this agent finished and hand the CPU on.
+    pub fn finish(&mut self) {
+        if self.finished || !self.started {
+            self.finished = true;
+            return;
+        }
+        self.finished = true;
+        let sched = Arc::clone(&self.sched);
+        let mut inner = sched.inner.lock();
+        inner.status[self.id] = Status::Done;
+        Scheduler::trace(&mut inner, self.id, TraceKind::Finished);
+        inner.live -= 1;
+        if inner.last_running == Some(self.id) {
+            inner.last_running = None;
+        }
+        if inner.live > 0 {
+            sched.dispatch(&mut inner);
+        }
+    }
+}
+
+impl Drop for SimWorker {
+    /// An unwinding agent must not strand the others: poison the run and
+    /// release everyone so their threads can observe it and unwind too.
+    fn drop(&mut self) {
+        if self.started && !self.finished {
+            let sched = Arc::clone(&self.sched);
+            let mut inner = sched.inner.lock();
+            inner.poisoned = true;
+            inner.status[self.id] = Status::Done;
+            inner.live = inner.live.saturating_sub(1);
+            if inner.last_running == Some(self.id) {
+                inner.last_running = None;
+            }
+            sched.dispatch(&mut inner);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Run `n` agents, each executing `f(worker, agent_id)`.
+    fn run_agents<F>(n: usize, f: F) -> Arc<Scheduler>
+    where
+        F: Fn(&mut SimWorker, AgentId) + Sync,
+    {
+        let sched = Scheduler::new(n);
+        std::thread::scope(|s| {
+            for id in 0..n {
+                let mut w = sched.worker(id);
+                let f = &f;
+                s.spawn(move || {
+                    w.begin();
+                    f(&mut w, id);
+                    w.finish();
+                });
+            }
+        });
+        sched
+    }
+
+    #[test]
+    fn single_agent_advances() {
+        let sched = run_agents(1, |w, _| {
+            w.advance(10);
+            w.advance(32);
+            assert_eq!(w.now(), 42);
+        });
+        assert_eq!(sched.makespan(), 42);
+    }
+
+    #[test]
+    fn agents_run_in_virtual_time_order() {
+        use std::sync::Mutex as StdMutex;
+        let order: StdMutex<Vec<(AgentId, u64)>> = StdMutex::new(Vec::new());
+        run_agents(3, |w, id| {
+            // Agent i advances in steps of (i+1)*10; record each step.
+            for _ in 0..3 {
+                w.advance((id as u64 + 1) * 10);
+                order.lock().unwrap().push((id, w.now()));
+            }
+        });
+        let events = order.into_inner().unwrap();
+        // Events must be observed in nondecreasing virtual time.
+        assert!(events.windows(2).all(|e| e[0].1 <= e[1].1), "events out of order: {events:?}");
+    }
+
+    #[test]
+    fn lock_is_mutually_exclusive_in_virtual_time() {
+        let sched = Scheduler::new(4);
+        let l = sched.create_locks(1);
+        let spans: Mutex<Vec<(u64, u64)>> = Mutex::new(Vec::new());
+        std::thread::scope(|s| {
+            for id in 0..4 {
+                let mut w = sched.worker(id);
+                let spans = &spans;
+                s.spawn(move || {
+                    w.begin();
+                    w.advance(id as u64); // stagger arrivals
+                    w.lock(l, 10);
+                    let start = w.now();
+                    w.advance(100); // critical section
+                    let end = w.now();
+                    spans.lock().push((start, end));
+                    w.unlock(l, 10);
+                    w.finish();
+                });
+            }
+        });
+        let mut spans = spans.into_inner();
+        spans.sort();
+        for pair in spans.windows(2) {
+            assert!(pair[0].1 <= pair[1].0, "overlapping critical sections: {spans:?}");
+        }
+        assert!(sched.metrics().lock_contended >= 1, "expected contention");
+    }
+
+    #[test]
+    fn try_lock_fails_while_held() {
+        let sched = Scheduler::new(2);
+        let l = sched.create_locks(1);
+        let got: Mutex<Vec<bool>> = Mutex::new(Vec::new());
+        std::thread::scope(|s| {
+            {
+                let mut w = sched.worker(0);
+                s.spawn(move || {
+                    w.begin();
+                    w.lock(l, 1);
+                    w.advance(1000); // hold for a long virtual time
+                    w.unlock(l, 1);
+                    w.finish();
+                });
+            }
+            {
+                let mut w = sched.worker(1);
+                let got = &got;
+                s.spawn(move || {
+                    w.begin();
+                    w.advance(10); // arrive while agent 0 holds the lock
+                    got.lock().push(w.try_lock(l, 1));
+                    w.advance(2000); // after agent 0 released
+                    got.lock().push(w.try_lock(l, 1));
+                    w.unlock(l, 1);
+                    w.finish();
+                });
+            }
+        });
+        assert_eq!(got.into_inner(), vec![false, true]);
+    }
+
+    #[test]
+    fn barrier_aligns_clocks() {
+        let sched = Scheduler::new(3);
+        let b = sched.create_barrier(3);
+        let after: Mutex<Vec<u64>> = Mutex::new(Vec::new());
+        std::thread::scope(|s| {
+            for id in 0..3 {
+                let mut w = sched.worker(id);
+                let after = &after;
+                s.spawn(move || {
+                    w.begin();
+                    w.advance((id as u64 + 1) * 100);
+                    w.barrier_wait(b, 50);
+                    after.lock().push(w.now());
+                    w.finish();
+                });
+            }
+        });
+        let after = after.into_inner();
+        assert_eq!(after, vec![350, 350, 350], "all resume at max(100,200,300)+50");
+    }
+
+    #[test]
+    fn barrier_is_reusable() {
+        let sched = Scheduler::new(2);
+        let b = sched.create_barrier(2);
+        std::thread::scope(|s| {
+            for id in 0..2 {
+                let mut w = sched.worker(id);
+                s.spawn(move || {
+                    w.begin();
+                    for round in 0..3u64 {
+                        w.advance((id as u64 + 1) * 10);
+                        w.barrier_wait(b, 0);
+                        // After each barrier both clocks agree.
+                        assert_eq!(w.now() % 10, 0, "round {round}");
+                    }
+                    w.finish();
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn deterministic_makespan() {
+        let run = || {
+            let sched = Scheduler::new(8);
+            let l = sched.create_locks(1);
+            std::thread::scope(|s| {
+                for id in 0..8 {
+                    let mut w = sched.worker(id);
+                    s.spawn(move || {
+                        w.begin();
+                        for i in 0..20u64 {
+                            w.advance((id as u64 * 7 + i) % 13 + 1);
+                            w.lock(l, 5);
+                            w.advance(3);
+                            w.unlock(l, 5);
+                        }
+                        w.finish();
+                    });
+                }
+            });
+            (sched.makespan(), sched.metrics())
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "simulation must be deterministic");
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlock")]
+    fn deadlock_is_detected() {
+        let sched = Scheduler::new(2);
+        let l = sched.create_locks(2);
+        let panics: Mutex<u32> = Mutex::new(0);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            std::thread::scope(|s| {
+                for id in 0..2 {
+                    let mut w = sched.worker(id);
+                    let panics = &panics;
+                    s.spawn(move || {
+                        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            w.begin();
+                            // Classic ABBA deadlock.
+                            w.lock(l + id, 1);
+                            w.advance(10);
+                            w.lock(l + (1 - id), 1);
+                            w.unlock(l + (1 - id), 1);
+                            w.unlock(l + id, 1);
+                        }));
+                        if r.is_err() {
+                            *panics.lock() += 1;
+                        }
+                        w.finish();
+                        if r.is_err() {
+                            std::panic::resume_unwind(Box::new("agent deadlocked"));
+                        }
+                    });
+                }
+            });
+        }));
+        assert!(result.is_err());
+        assert!(*panics.lock() >= 1);
+        panic!("deadlock was detected as expected");
+    }
+
+    #[test]
+    fn makespan_reflects_parallelism() {
+        // 4 agents x 100 independent cycles: parallel makespan is 100,
+        // not 400 — the whole point of virtual time on a 1-core host.
+        let sched = run_agents(4, |w, _| {
+            w.advance(100);
+        });
+        assert_eq!(sched.makespan(), 100);
+    }
+}

@@ -1,0 +1,99 @@
+//! SM-occupancy (wave execution) and phased-launch behaviour.
+
+use gpu_sim::{launch, launch_phased, GpuConfig};
+use primitives::CostModel;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+#[test]
+fn resident_block_formula() {
+    // TITAN X Pascal defaults: 28 SMs x 2048 threads.
+    assert_eq!(GpuConfig::new(128, 512).resident_blocks(), 28 * 4);
+    assert_eq!(GpuConfig::new(128, 1024).resident_blocks(), 28 * 2);
+    // Small blocks hit the per-SM block cap (32).
+    assert_eq!(GpuConfig::new(4096, 32).resident_blocks(), 28 * 32);
+    // At least one block is always resident.
+    assert!(GpuConfig::new(1, 4096).resident_blocks() >= 1);
+}
+
+#[test]
+fn blocks_beyond_residency_execute_in_waves() {
+    // Device with a single slot: blocks serialize fully.
+    let mut cfg = GpuConfig::new(4, 128);
+    cfg.sm_count = 1;
+    cfg.max_threads_per_sm = 128; // exactly one resident block
+    let (serial, _) = launch(cfg, |_s| (), |ctx, _| ctx.advance(10_000));
+    let per_block = 10_000 + cfg.cost.c_dispatch;
+    assert!(
+        serial.makespan_cycles >= 4 * per_block,
+        "1-resident device must serialize: {} < {}",
+        serial.makespan_cycles,
+        4 * per_block
+    );
+
+    // Same launch on a roomy device overlaps fully.
+    let roomy = GpuConfig::new(4, 128);
+    let (parallel, _) = launch(roomy, |_s| (), |ctx, _| ctx.advance(10_000));
+    assert!(parallel.makespan_cycles < 2 * per_block, "{}", parallel.makespan_cycles);
+}
+
+#[test]
+fn two_waves_when_grid_is_oversubscribed_by_half() {
+    let mut cfg = GpuConfig::new(8, 128);
+    cfg.sm_count = 4;
+    cfg.max_threads_per_sm = 128; // 4 resident, 8 launched -> 2 waves
+    let (r, _) = launch(cfg, |_s| (), |ctx, _| ctx.advance(50_000));
+    let one_wave = 50_000 + cfg.cost.c_dispatch;
+    assert!(
+        r.makespan_cycles >= 2 * one_wave && r.makespan_cycles < 3 * one_wave,
+        "expected two waves: {} vs wave {}",
+        r.makespan_cycles,
+        one_wave
+    );
+}
+
+#[test]
+fn phased_launch_orders_phases_in_virtual_time() {
+    let counter = AtomicUsize::new(0);
+    let phase1 = |ctx: &mut gpu_sim::BlockCtx, c: &AtomicUsize| {
+        c.fetch_add(1, Ordering::Relaxed);
+        ctx.advance(1000);
+    };
+    let phase2 = |ctx: &mut gpu_sim::BlockCtx, c: &AtomicUsize| {
+        // Every phase-1 block must be done before any phase-2 work.
+        assert_eq!(c.load(Ordering::Relaxed), 8, "phase 1 incomplete");
+        ctx.advance(500);
+    };
+    let (reports, _) = launch_phased(GpuConfig::new(8, 128), |_s| counter, &[&phase1, &phase2]);
+    assert_eq!(reports.len(), 2);
+    assert!(reports[1].makespan_cycles > reports[0].makespan_cycles);
+    // Phase 2 starts at phase-1 makespan + relaunch cost.
+    let c = CostModel::default();
+    assert_eq!(
+        reports[1].makespan_cycles,
+        reports[0].makespan_cycles + c.c_dispatch /* relaunch */ + c.c_dispatch /* block dispatch */ + 500
+    );
+}
+
+#[test]
+fn phased_launch_is_deterministic() {
+    let run = || {
+        let p1 = |ctx: &mut gpu_sim::BlockCtx, _: &()| {
+            ctx.advance(100 + ctx.block_id() as u64 * 7);
+        };
+        let p2 = |ctx: &mut gpu_sim::BlockCtx, _: &()| {
+            ctx.advance(300 - ctx.block_id() as u64 * 3);
+        };
+        launch_phased(GpuConfig::new(6, 256), |_s| (), &[&p1, &p2]).0
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a[0].makespan_cycles, b[0].makespan_cycles);
+    assert_eq!(a[1].makespan_cycles, b[1].makespan_cycles);
+}
+
+#[test]
+#[should_panic(expected = "need at least one phase")]
+fn empty_phase_list_is_rejected() {
+    let phases: &[gpu_sim::PhaseKernel<()>] = &[];
+    let _ = launch_phased(GpuConfig::new(2, 128), |_s| (), phases);
+}

@@ -1,0 +1,127 @@
+//! Property-based tests of the virtual-time scheduler: for arbitrary
+//! agent programs, the simulation invariants must hold.
+
+use gpu_sim::{launch, GpuConfig, Scheduler};
+use parking_lot::Mutex;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// A tiny agent program: a sequence of steps.
+#[derive(Debug, Clone)]
+enum Step {
+    /// Advance the clock by this many cycles.
+    Work(u16),
+    /// Lock the given lock (of 3), work, unlock.
+    Critical(u8, u16),
+}
+
+fn program_strategy() -> impl Strategy<Value = Vec<Step>> {
+    let step = prop_oneof![
+        (1u16..2000).prop_map(Step::Work),
+        ((0u8..3), (1u16..500)).prop_map(|(l, w)| Step::Critical(l, w)),
+    ];
+    proptest::collection::vec(step, 1..12)
+}
+
+fn run_programs(programs: &[Vec<Step>]) -> (u64, Vec<u64>, Vec<(u8, u64, u64)>) {
+    let n = programs.len();
+    let sched = Scheduler::new(n);
+    let locks = sched.create_locks(3);
+    let spans: Mutex<Vec<(u8, u64, u64)>> = Mutex::new(Vec::new());
+    let finish: Mutex<Vec<u64>> = Mutex::new(vec![0; n]);
+    std::thread::scope(|s| {
+        for (id, prog) in programs.iter().enumerate() {
+            let mut w = sched.worker(id);
+            let spans = &spans;
+            let finish = &finish;
+            s.spawn(move || {
+                w.begin();
+                for step in prog {
+                    match *step {
+                        Step::Work(c) => w.advance(c as u64),
+                        Step::Critical(l, c) => {
+                            w.lock(locks + l as usize, 10);
+                            let start = w.now();
+                            w.advance(c as u64);
+                            spans.lock().push((l, start, w.now()));
+                            w.unlock(locks + l as usize, 10);
+                        }
+                    }
+                }
+                finish.lock()[id] = w.now();
+                w.finish();
+            });
+        }
+    });
+    (sched.makespan(), finish.into_inner(), spans.into_inner())
+}
+
+fn sequential_time(prog: &[Step]) -> u64 {
+    prog.iter()
+        .map(|s| match *s {
+            Step::Work(c) => c as u64,
+            // lock + unlock atomics (10 each) + critical work.
+            Step::Critical(_, c) => c as u64 + 20,
+        })
+        .sum()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Makespan is bounded below by every agent's own work and above by
+    /// total serialization (plus lock handoff overheads).
+    #[test]
+    fn makespan_bounds(programs in proptest::collection::vec(program_strategy(), 1..6)) {
+        let (makespan, finish, _) = run_programs(&programs);
+        let per_agent: Vec<u64> = programs.iter().map(|p| sequential_time(p)).collect();
+        let max_alone = per_agent.iter().copied().max().unwrap();
+        let total: u64 = per_agent.iter().sum();
+        prop_assert!(makespan >= max_alone, "makespan {makespan} below longest agent {max_alone}");
+        // Upper bound: full serialization + generous handoff slack.
+        let slack = 1000 * programs.iter().map(|p| p.len() as u64).sum::<u64>();
+        prop_assert!(makespan <= total + slack, "makespan {makespan} above serial bound {total}+{slack}");
+        for (id, f) in finish.iter().enumerate() {
+            prop_assert!(*f <= makespan, "agent {id} finished after makespan");
+            prop_assert!(*f >= per_agent[id], "agent {id} finished before its own work");
+        }
+    }
+
+    /// Critical sections on the same lock never overlap in virtual time.
+    #[test]
+    fn critical_sections_exclusive(programs in proptest::collection::vec(program_strategy(), 2..6)) {
+        let (_, _, mut spans) = run_programs(&programs);
+        spans.sort();
+        for pair in spans.windows(2) {
+            let (l1, _s1, e1) = pair[0];
+            let (l2, s2, _e2) = pair[1];
+            if l1 == l2 {
+                prop_assert!(e1 <= s2, "overlap on lock {l1}: {pair:?}");
+            }
+        }
+    }
+
+    /// Identical inputs produce identical simulations.
+    #[test]
+    fn simulation_is_a_function(programs in proptest::collection::vec(program_strategy(), 1..5)) {
+        let a = run_programs(&programs);
+        let b = run_programs(&programs);
+        prop_assert_eq!(a.0, b.0);
+        prop_assert_eq!(a.1, b.1);
+        prop_assert_eq!(a.2, b.2);
+    }
+
+    /// The launch harness composes with arbitrary per-block work.
+    #[test]
+    fn launch_makespan_dominates_blocks(works in proptest::collection::vec(1u64..100_000, 1..8)) {
+        let n = works.len();
+        let works = Arc::new(works);
+        let w2 = Arc::clone(&works);
+        let (report, _) = launch(GpuConfig::new(n, 128), |_s| (), move |ctx, _| {
+            ctx.advance(w2[ctx.block_id()]);
+        });
+        let c = GpuConfig::new(n, 128).cost;
+        let max = works.iter().copied().max().unwrap();
+        prop_assert!(report.makespan_cycles >= max + c.c_dispatch);
+    }
+}

@@ -1,0 +1,127 @@
+//! Bitonic sorting network.
+//!
+//! The network is executed exactly as a CUDA thread block would run it:
+//! `log2(n) * (log2(n)+1) / 2` *steps*, where step `(k, j)` performs `n/2`
+//! independent compare-exchange operations. A GPU block of `t` threads
+//! executes each step in `ceil(n/2 / t)` lock-step rounds followed by a
+//! block-wide barrier — those counts are what [`crate::cost::CostModel`]
+//! charges. On the CPU we run the compare-exchanges of a step in their
+//! schedule order; since they are independent within a step, the result
+//! is identical to the parallel execution.
+
+/// True if `n` is a power of two (and nonzero).
+#[inline]
+pub const fn is_power_of_two(n: usize) -> bool {
+    n != 0 && (n & (n - 1)) == 0
+}
+
+/// Number of compare-exchange *steps* in the network for `n` elements
+/// (`n` a power of two): `log2(n) * (log2(n) + 1) / 2`.
+pub fn step_count(n: usize) -> u32 {
+    assert!(is_power_of_two(n), "bitonic network requires power-of-two size");
+    let lg = n.trailing_zeros();
+    lg * (lg + 1) / 2
+}
+
+/// Sort `data` ascending with the bitonic network. Panics unless
+/// `data.len()` is a power of two (use [`bitonic_sort_padded`] otherwise).
+pub fn bitonic_sort<T: Ord + Copy>(data: &mut [T]) {
+    let n = data.len();
+    if n <= 1 {
+        return;
+    }
+    assert!(is_power_of_two(n), "bitonic network requires power-of-two size");
+
+    // Outer loop: bitonic merge stages of width k = 2, 4, ..., n.
+    let mut k = 2;
+    while k <= n {
+        // Inner loop: compare distance j = k/2, k/4, ..., 1.
+        let mut j = k / 2;
+        while j > 0 {
+            // One network step: n/2 independent compare-exchanges. This
+            // is the body a CUDA kernel runs between __syncthreads().
+            for i in 0..n {
+                let partner = i ^ j;
+                if partner > i {
+                    // Ascending block if the k-bit of i is 0.
+                    let ascending = i & k == 0;
+                    let (a, b) = (data[i], data[partner]);
+                    if (a > b) == ascending {
+                        data[i] = b;
+                        data[partner] = a;
+                    }
+                }
+            }
+            j /= 2;
+        }
+        k *= 2;
+    }
+}
+
+/// Sort an arbitrary-length slice by padding to the next power of two
+/// with `pad` (which must compare `>=` every element, e.g. the key
+/// sentinel). This mirrors how the CUDA implementation pads
+/// shared-memory tiles with `+inf` keys.
+pub fn bitonic_sort_padded<T: Ord + Copy>(data: &mut [T], pad: T) {
+    let n = data.len();
+    if n <= 1 {
+        return;
+    }
+    if is_power_of_two(n) {
+        bitonic_sort(data);
+        return;
+    }
+    let full = n.next_power_of_two();
+    let mut buf = Vec::with_capacity(full);
+    buf.extend_from_slice(data);
+    buf.resize(full, pad);
+    bitonic_sort(&mut buf);
+    data.copy_from_slice(&buf[..n]);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sorts_small_powers_of_two() {
+        for n in [1usize, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024] {
+            let mut v: Vec<u32> = (0..n as u32).rev().collect();
+            bitonic_sort(&mut v);
+            assert!(v.windows(2).all(|w| w[0] <= w[1]), "n={n}");
+        }
+    }
+
+    #[test]
+    fn sorts_with_duplicates() {
+        let mut v = vec![5u32, 5, 1, 1, 3, 3, 2, 2];
+        bitonic_sort(&mut v);
+        assert_eq!(v, vec![1, 1, 2, 2, 3, 3, 5, 5]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_non_power_of_two() {
+        let mut v = vec![3u32, 1, 2];
+        bitonic_sort(&mut v);
+    }
+
+    #[test]
+    fn padded_handles_any_length() {
+        for n in [0usize, 1, 3, 5, 7, 100, 1000, 1023] {
+            let mut v: Vec<u32> = (0..n as u32).rev().map(|x| x.wrapping_mul(2654435761)).collect();
+            let mut expect = v.clone();
+            expect.sort_unstable();
+            bitonic_sort_padded(&mut v, u32::MAX);
+            assert_eq!(v, expect, "n={n}");
+        }
+    }
+
+    #[test]
+    fn step_counts_match_formula() {
+        assert_eq!(step_count(2), 1);
+        assert_eq!(step_count(4), 3);
+        assert_eq!(step_count(8), 6);
+        assert_eq!(step_count(1024), 55);
+    }
+}

@@ -1,0 +1,159 @@
+//! GPU Merge Path (Green, McColl & Bader, ICS'12).
+//!
+//! Merging two sorted sequences `A` (len `m`) and `B` (len `n`) can be
+//! viewed as a monotone staircase path through an `m × n` grid. Merge
+//! Path assigns thread `i` the segment of the output between cross
+//! diagonals `i·L` and `(i+1)·L` (with `L = (m+n)/p`); each thread binary
+//! searches its diagonal for the staircase intersection and then merges
+//! its chunk independently — no inter-thread communication until the
+//! final barrier.
+//!
+//! We implement the same decomposition. [`parallel_merge`] runs the
+//! per-partition merges in their schedule order (they are independent, so
+//! sequential execution yields the identical result a thread block
+//! produces), and the partition/search counts feed the cost model.
+
+/// Find the merge-path intersection for cross diagonal `diag`
+/// (`0 <= diag <= a.len() + b.len()`): returns `(i, j)` with
+/// `i + j == diag` such that merging `a[..i]` and `b[..j]` yields the
+/// first `diag` output elements. Stable: ties are broken toward
+/// consuming from `a` first.
+pub fn merge_path_search<T: Ord>(a: &[T], b: &[T], diag: usize) -> (usize, usize) {
+    debug_assert!(diag <= a.len() + b.len());
+    // Binary search over i in [max(0, diag-n), min(diag, m)].
+    let mut lo = diag.saturating_sub(b.len());
+    let mut hi = diag.min(a.len());
+    while lo < hi {
+        let i = lo + (hi - lo) / 2;
+        let j = diag - i;
+        // Path goes below-left of (i, j) iff a[i] <= b[j-1] is violated.
+        // Stability (a first on ties): advance in `a` while
+        // a[i] <= b[j-1], i.e. move i up when a[i] < b[j-1] OR equal.
+        if j > 0 && a[i] <= b[j - 1] {
+            lo = i + 1;
+        } else {
+            hi = i;
+        }
+    }
+    (lo, diag - lo)
+}
+
+/// Sequential two-way merge of sorted `a` and `b` into `out`
+/// (`out.len() == a.len() + b.len()`). Stable (`a` wins ties).
+pub fn merge_into<T: Ord + Copy>(a: &[T], b: &[T], out: &mut [T]) {
+    assert_eq!(out.len(), a.len() + b.len(), "output size mismatch");
+    let (mut i, mut j) = (0, 0);
+    for slot in out.iter_mut() {
+        if i < a.len() && (j >= b.len() || a[i] <= b[j]) {
+            *slot = a[i];
+            i += 1;
+        } else {
+            *slot = b[j];
+            j += 1;
+        }
+    }
+}
+
+/// Merge with the Merge Path decomposition into `partitions` independent
+/// chunks — the schedule a `partitions`-thread block executes. Each chunk
+/// performs one diagonal binary search plus a bounded sequential merge.
+///
+/// Produces exactly the same output as [`merge_into`].
+pub fn parallel_merge<T: Ord + Copy>(a: &[T], b: &[T], out: &mut [T], partitions: usize) {
+    assert_eq!(out.len(), a.len() + b.len(), "output size mismatch");
+    assert!(partitions >= 1, "need at least one partition");
+    let total = out.len();
+    if total == 0 {
+        return;
+    }
+    let chunk = total.div_ceil(partitions);
+
+    // Phase 1 (parallel on GPU): each partition searches its starting
+    // diagonal. Phase 2 (parallel on GPU): each partition merges
+    // out[d0..d1] from a[i0..i1] x b[j0..j1]. The partitions write
+    // disjoint output ranges, so running them in sequence is
+    // result-identical to the lock-step execution.
+    let mut starts = Vec::with_capacity(partitions + 1);
+    for p in 0..=partitions {
+        let diag = (p * chunk).min(total);
+        starts.push(merge_path_search(a, b, diag));
+    }
+
+    for p in 0..partitions {
+        let (i0, j0) = starts[p];
+        let (i1, j1) = starts[p + 1];
+        let d0 = i0 + j0;
+        let d1 = i1 + j1;
+        merge_into(&a[i0..i1], &b[j0..j1], &mut out[d0..d1]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn std_merge(a: &[u32], b: &[u32]) -> Vec<u32> {
+        let mut v: Vec<u32> = a.iter().chain(b.iter()).copied().collect();
+        v.sort();
+        v
+    }
+
+    #[test]
+    fn search_endpoints() {
+        let a = [1u32, 3, 5];
+        let b = [2u32, 4, 6];
+        assert_eq!(merge_path_search(&a, &b, 0), (0, 0));
+        assert_eq!(merge_path_search(&a, &b, 6), (3, 3));
+    }
+
+    #[test]
+    fn search_matches_prefix_semantics() {
+        let a = [1u32, 3, 5, 7];
+        let b = [2u32, 2, 6];
+        for diag in 0..=a.len() + b.len() {
+            let (i, j) = merge_path_search(&a, &b, diag);
+            assert_eq!(i + j, diag);
+            // Merging the prefixes must give the diag smallest elements.
+            let mut merged: Vec<u32> = a[..i].iter().chain(b[..j].iter()).copied().collect();
+            merged.sort();
+            let mut all = std_merge(&a, &b);
+            all.truncate(diag);
+            assert_eq!(merged, all, "diag={diag}");
+        }
+    }
+
+    #[test]
+    fn merge_into_is_stable_and_sorted() {
+        let a = [1u32, 4, 4, 9];
+        let b = [0u32, 4, 8];
+        let mut out = [0u32; 7];
+        merge_into(&a, &b, &mut out);
+        assert_eq!(out, [0, 1, 4, 4, 4, 8, 9]);
+    }
+
+    #[test]
+    fn parallel_merge_matches_sequential_for_all_partition_counts() {
+        let a: Vec<u32> = (0..64).map(|x| x * 3).collect();
+        let b: Vec<u32> = (0..48).map(|x| x * 4 + 1).collect();
+        let mut reference = vec![0u32; a.len() + b.len()];
+        merge_into(&a, &b, &mut reference);
+        for p in [1usize, 2, 3, 7, 16, 32, 112, 200] {
+            let mut out = vec![0u32; a.len() + b.len()];
+            parallel_merge(&a, &b, &mut out, p);
+            assert_eq!(out, reference, "partitions={p}");
+        }
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let mut out: [u32; 0] = [];
+        parallel_merge(&[], &[], &mut out, 4);
+        let a = [1u32, 2];
+        let mut out2 = [0u32; 2];
+        parallel_merge(&a, &[], &mut out2, 3);
+        assert_eq!(out2, [1, 2]);
+        let mut out3 = [0u32; 2];
+        parallel_merge(&[], &a, &mut out3, 3);
+        assert_eq!(out3, [1, 2]);
+    }
+}

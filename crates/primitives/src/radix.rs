@@ -1,0 +1,210 @@
+//! LSD radix sort — the third GPU sorting primitive §4 names
+//! ("bitonic sort, merge sort, and radix sort").
+//!
+//! A GPU LSD radix sort processes `bits/digit_bits` passes; each pass
+//! is a count → exclusive-scan → scatter pipeline executed by the
+//! whole thread block with a barrier between the three stages. We
+//! execute the identical pass structure sequentially (the stages are
+//! data-parallel within a pass, so results match), and
+//! [`crate::CostModel::radix_sort_cycles`] charges the corresponding
+//! lock-step schedule.
+//!
+//! Radix sort orders by a `u32` rank, so it applies to keys that expose
+//! one — [`RadixKey`] — covering the integer key types the paper's
+//! evaluation uses (30/32-bit keys, and 64-bit app priorities by
+//! sorting on the high half first... here: full u64 via two chained
+//! 32-bit sorts).
+
+/// A key with a radix (unsigned integer) representation whose order
+/// matches `Ord`.
+pub trait RadixKey: Copy {
+    /// Bits in the rank actually used (passes = ceil(bits / 8)).
+    const RANK_BITS: u32;
+    /// Order-preserving unsigned rank.
+    fn rank(&self) -> u64;
+}
+
+impl RadixKey for u32 {
+    const RANK_BITS: u32 = 32;
+    fn rank(&self) -> u64 {
+        *self as u64
+    }
+}
+
+impl RadixKey for u64 {
+    const RANK_BITS: u32 = 64;
+    fn rank(&self) -> u64 {
+        *self
+    }
+}
+
+impl RadixKey for i32 {
+    const RANK_BITS: u32 = 32;
+    fn rank(&self) -> u64 {
+        (*self as u32 ^ 0x8000_0000) as u64
+    }
+}
+
+impl RadixKey for i64 {
+    const RANK_BITS: u32 = 64;
+    fn rank(&self) -> u64 {
+        *self as u64 ^ 0x8000_0000_0000_0000
+    }
+}
+
+const DIGIT_BITS: u32 = 8;
+const BUCKETS: usize = 1 << DIGIT_BITS;
+
+/// Number of count/scan/scatter passes for a key type.
+pub fn radix_passes<T: RadixKey>() -> u32 {
+    T::RANK_BITS.div_ceil(DIGIT_BITS)
+}
+
+/// Stable LSD radix sort by `RadixKey` rank.
+pub fn radix_sort_by_key<T, K, F>(data: &mut [T], key_of: F)
+where
+    T: Copy,
+    K: RadixKey,
+    F: Fn(&T) -> K,
+{
+    let n = data.len();
+    if n <= 1 {
+        return;
+    }
+    let passes = radix_passes::<K>();
+    let mut src: Vec<T> = data.to_vec();
+    let mut dst: Vec<T> = Vec::with_capacity(n);
+    // SAFETY-free version: use a second buffer initialised by cloning.
+    dst.extend_from_slice(data);
+
+    for pass in 0..passes {
+        let shift = pass * DIGIT_BITS;
+        // Stage 1 (block-parallel on a GPU): digit histogram.
+        let mut counts = [0usize; BUCKETS];
+        for item in src.iter() {
+            let d = ((key_of(item).rank() >> shift) & (BUCKETS as u64 - 1)) as usize;
+            counts[d] += 1;
+        }
+        // Stage 2: exclusive prefix scan of the histogram.
+        let mut offsets = [0usize; BUCKETS];
+        let mut acc = 0;
+        for (o, c) in offsets.iter_mut().zip(counts.iter()) {
+            *o = acc;
+            acc += c;
+        }
+        // Stage 3: stable scatter.
+        for item in src.iter() {
+            let d = ((key_of(item).rank() >> shift) & (BUCKETS as u64 - 1)) as usize;
+            dst[offsets[d]] = *item;
+            offsets[d] += 1;
+        }
+        std::mem::swap(&mut src, &mut dst);
+    }
+    data.copy_from_slice(&src);
+}
+
+/// Convenience: sort a slice of radix keys directly.
+pub fn radix_sort<K: RadixKey + Ord>(data: &mut [K]) {
+    radix_sort_by_key(data, |k| *k);
+}
+
+/// Merge sort built from the merge-path primitive: `log2(n)` rounds of
+/// pairwise merges, each round fully data-parallel across a thread
+/// block (§4's "merge sort" option).
+pub fn merge_sort<T: Ord + Copy>(data: &mut [T]) {
+    let n = data.len();
+    if n <= 1 {
+        return;
+    }
+    let mut width = 1usize;
+    let mut src: Vec<T> = data.to_vec();
+    let mut dst: Vec<T> = data.to_vec();
+    while width < n {
+        // One round: merge adjacent sorted runs of `width`.
+        let mut start = 0;
+        while start < n {
+            let mid = (start + width).min(n);
+            let end = (start + 2 * width).min(n);
+            crate::merge_path::merge_into(&src[start..mid], &src[mid..end], &mut dst[start..end]);
+            start = end;
+        }
+        std::mem::swap(&mut src, &mut dst);
+        width *= 2;
+    }
+    data.copy_from_slice(&src);
+}
+
+/// Number of pairwise-merge rounds for `n` elements.
+pub fn merge_sort_rounds(n: usize) -> u32 {
+    if n <= 1 {
+        0
+    } else {
+        usize::BITS - (n - 1).leading_zeros()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn radix_matches_std_sort() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for n in [0usize, 1, 2, 7, 100, 1000] {
+            let mut v: Vec<u32> = (0..n).map(|_| rng.gen()).collect();
+            let mut expect = v.clone();
+            expect.sort_unstable();
+            radix_sort(&mut v);
+            assert_eq!(v, expect, "n={n}");
+        }
+    }
+
+    #[test]
+    fn radix_signed_keys() {
+        let mut v: Vec<i32> = vec![5, -3, 0, i32::MIN, i32::MAX, -3];
+        radix_sort(&mut v);
+        assert_eq!(v, vec![i32::MIN, -3, -3, 0, 5, i32::MAX]);
+        let mut w: Vec<i64> = vec![9, -9, 0];
+        radix_sort(&mut w);
+        assert_eq!(w, vec![-9, 0, 9]);
+    }
+
+    #[test]
+    fn radix_is_stable() {
+        // Sort (key, tag) pairs by key only; equal keys keep tag order.
+        let mut v: Vec<(u32, u32)> = vec![(2, 0), (1, 1), (2, 2), (1, 3), (2, 4)];
+        radix_sort_by_key(&mut v, |&(k, _)| k);
+        assert_eq!(v, vec![(1, 1), (1, 3), (2, 0), (2, 2), (2, 4)]);
+    }
+
+    #[test]
+    fn radix_u64_full_width() {
+        let mut v: Vec<u64> = vec![u64::MAX, 0, 1 << 40, 1 << 20, u64::MAX - 1];
+        radix_sort(&mut v);
+        assert_eq!(v, vec![0, 1 << 20, 1 << 40, u64::MAX - 1, u64::MAX]);
+    }
+
+    #[test]
+    fn merge_sort_matches_std() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for n in [0usize, 1, 3, 64, 100, 1023] {
+            let mut v: Vec<u32> = (0..n).map(|_| rng.gen()).collect();
+            let mut expect = v.clone();
+            expect.sort_unstable();
+            merge_sort(&mut v);
+            assert_eq!(v, expect, "n={n}");
+        }
+    }
+
+    #[test]
+    fn round_and_pass_counts() {
+        assert_eq!(radix_passes::<u32>(), 4);
+        assert_eq!(radix_passes::<u64>(), 8);
+        assert_eq!(merge_sort_rounds(1), 0);
+        assert_eq!(merge_sort_rounds(2), 1);
+        assert_eq!(merge_sort_rounds(1024), 10);
+        assert_eq!(merge_sort_rounds(1000), 10);
+    }
+}

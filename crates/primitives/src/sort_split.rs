@@ -1,0 +1,141 @@
+//! The paper's `SORT_SPLIT` node operation (§4):
+//!
+//! ```text
+//! (X[1:Ma], Y[1:Mb]) <- SORT_SPLIT(Z, Na, W, Nb, Ma)
+//!   s.t. (X, Y) = sorted(Z, W)
+//!        Ma + Mb = Na + Nb,  max X <= min Y,
+//!        X sorted ascending, Y sorted ascending
+//! ```
+//!
+//! i.e. merge two sorted batches and split the result: `X` receives the
+//! `Ma` smallest elements, `Y` the remaining `Mb` largest, both sorted.
+//! On the GPU this is one merge-path merge in shared memory followed by a
+//! partitioned write-out; here we merge into a scratch buffer and copy
+//! the two halves back.
+//!
+//! The common case ("if the range is not specified") operates on two full
+//! nodes of capacity `K` with `Ma = K` — [`sort_split_full`].
+
+use crate::merge_path::merge_into;
+
+/// Outcome sizes of a [`sort_split`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SortSplitResult {
+    /// Number of elements written to the small side (`Ma`).
+    pub ma: usize,
+    /// Number of elements written to the large side (`Mb`).
+    pub mb: usize,
+}
+
+/// `SORT_SPLIT` over the valid prefixes of two buffers, writing the `Ma`
+/// smallest elements back into `z[..ma]` and the `Mb = Na + Nb - ma`
+/// largest into `w[..mb]`.
+///
+/// * `z[..na]` and `w[..nb]` must each be sorted ascending.
+/// * `ma <= na + nb`, `ma <= z.len()`, and `na + nb - ma <= w.len()`
+///   (the outputs must fit the buffers).
+/// * `scratch` is caller-provided to keep the hot path allocation-free;
+///   it is resized as needed.
+///
+/// Returns the output sizes.
+pub fn sort_split<T: Ord + Copy + Default>(
+    z: &mut [T],
+    na: usize,
+    w: &mut [T],
+    nb: usize,
+    ma: usize,
+    scratch: &mut Vec<T>,
+) -> SortSplitResult {
+    assert!(na <= z.len() && nb <= w.len(), "valid prefix exceeds buffer");
+    let total = na + nb;
+    assert!(ma <= total, "cannot take more smallest elements than exist");
+    let mb = total - ma;
+    assert!(ma <= z.len(), "small side does not fit");
+    assert!(mb <= w.len(), "large side does not fit");
+    debug_assert!(z[..na].windows(2).all(|p| p[0] <= p[1]), "Z not sorted");
+    debug_assert!(w[..nb].windows(2).all(|p| p[0] <= p[1]), "W not sorted");
+
+    scratch.clear();
+    scratch.resize(total, T::default());
+    merge_into(&z[..na], &w[..nb], &mut scratch[..total]);
+
+    z[..ma].copy_from_slice(&scratch[..ma]);
+    w[..mb].copy_from_slice(&scratch[ma..total]);
+    SortSplitResult { ma, mb }
+}
+
+/// `SORT_SPLIT` between two *full* batches of equal capacity — the common
+/// case in the heapify loops (Alg. 1 line 33, Alg. 3 lines 10/12): `a`
+/// keeps the smallest `a.len()` elements, `b` the largest `b.len()`.
+pub fn sort_split_full<T: Ord + Copy + Default>(a: &mut [T], b: &mut [T], scratch: &mut Vec<T>) {
+    let (na, nb) = (a.len(), b.len());
+    debug_assert!(a.windows(2).all(|p| p[0] <= p[1]), "A not sorted");
+    debug_assert!(b.windows(2).all(|p| p[0] <= p[1]), "B not sorted");
+    scratch.clear();
+    scratch.resize(na + nb, T::default());
+    merge_into(a, b, &mut scratch[..]);
+    a.copy_from_slice(&scratch[..na]);
+    b.copy_from_slice(&scratch[na..]);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_postconditions_hold() {
+        // Z = [1,4,9], W = [2,3,5,8], Ma = 2 (so Mb = 5 must fit in W).
+        let mut z = [1u32, 4, 9, 0, 0];
+        let mut w = [2u32, 3, 5, 8, 0];
+        let mut scratch = Vec::new();
+        let r = sort_split(&mut z, 3, &mut w, 4, 2, &mut scratch);
+        assert_eq!(r, SortSplitResult { ma: 2, mb: 5 });
+        assert_eq!(&z[..2], &[1, 2]);
+        assert_eq!(&w[..5], &[3, 4, 5, 8, 9]);
+    }
+
+    #[test]
+    fn full_node_split() {
+        let mut a = [5u32, 6, 7, 8];
+        let mut b = [1u32, 2, 3, 4];
+        let mut scratch = Vec::new();
+        sort_split_full(&mut a, &mut b, &mut scratch);
+        assert_eq!(a, [1, 2, 3, 4]);
+        assert_eq!(b, [5, 6, 7, 8]);
+    }
+
+    #[test]
+    fn ma_zero_and_ma_total() {
+        let mut z = [1u32, 3];
+        let mut w = [2u32, 4, 0, 0];
+        let mut scratch = Vec::new();
+        let r = sort_split(&mut z, 2, &mut w, 2, 0, &mut scratch);
+        assert_eq!((r.ma, r.mb), (0, 4));
+        assert_eq!(&w[..4], &[1, 2, 3, 4]);
+
+        let mut z2 = [5u32, 7, 0, 0];
+        let mut w2 = [6u32, 8];
+        let r2 = sort_split(&mut z2, 2, &mut w2, 2, 4, &mut scratch);
+        assert_eq!((r2.ma, r2.mb), (4, 0));
+        assert_eq!(&z2[..4], &[5, 6, 7, 8]);
+    }
+
+    #[test]
+    #[should_panic(expected = "small side does not fit")]
+    fn overflow_small_side_panics() {
+        let mut z = [1u32, 2];
+        let mut w = [3u32, 4];
+        let mut scratch = Vec::new();
+        sort_split(&mut z, 2, &mut w, 2, 3, &mut scratch);
+    }
+
+    #[test]
+    fn unequal_sizes() {
+        let mut a = [10u32, 20, 30, 40, 50, 60];
+        let mut b = [15u32, 35];
+        let mut scratch = Vec::new();
+        sort_split_full(&mut a, &mut b, &mut scratch);
+        assert_eq!(a, [10, 15, 20, 30, 35, 40]);
+        assert_eq!(b, [50, 60]);
+    }
+}

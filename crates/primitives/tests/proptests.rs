@@ -1,0 +1,120 @@
+//! Property-based tests for the data-parallel primitives: the network
+//! and merge-path schedules must agree with the standard library on every
+//! input, and `SORT_SPLIT` must satisfy the paper's formal postconditions.
+
+use primitives::{
+    bitonic_sort, bitonic_sort_padded, merge_into, merge_path_search, parallel_merge, sort_split,
+    sort_split_full,
+};
+use proptest::prelude::*;
+
+fn sorted_vec(max_len: usize) -> impl Strategy<Value = Vec<u32>> {
+    proptest::collection::vec(any::<u32>(), 0..max_len).prop_map(|mut v| {
+        v.sort_unstable();
+        v
+    })
+}
+
+proptest! {
+    #[test]
+    fn bitonic_equals_std_sort(mut v in proptest::collection::vec(any::<u32>(), 0..257)) {
+        // Pad to a power of two inside bitonic_sort_padded.
+        let mut expect = v.clone();
+        expect.sort_unstable();
+        bitonic_sort_padded(&mut v, u32::MAX);
+        prop_assert_eq!(v, expect);
+    }
+
+    #[test]
+    fn bitonic_pow2_is_permutation(v in (0u32..=8).prop_flat_map(|e| {
+            proptest::collection::vec(any::<u32>(), 1usize << e)
+        })) {
+        let mut sorted = v.clone();
+        bitonic_sort(&mut sorted);
+        let mut expect = v;
+        expect.sort_unstable();
+        prop_assert_eq!(sorted, expect);
+    }
+
+    #[test]
+    fn merge_path_search_is_a_valid_split(a in sorted_vec(64), b in sorted_vec(64), frac in 0.0f64..=1.0) {
+        let diag = ((a.len() + b.len()) as f64 * frac) as usize;
+        let (i, j) = merge_path_search(&a, &b, diag);
+        prop_assert_eq!(i + j, diag);
+        // Path validity: everything consumed is <= everything not yet consumed.
+        if i > 0 && j < b.len() {
+            prop_assert!(a[i - 1] <= b[j]);
+        }
+        if j > 0 && i < a.len() {
+            prop_assert!(b[j - 1] <= a[i]);
+        }
+    }
+
+    #[test]
+    fn parallel_merge_equals_std(a in sorted_vec(128), b in sorted_vec(128), p in 1usize..64) {
+        let mut out = vec![0u32; a.len() + b.len()];
+        parallel_merge(&a, &b, &mut out, p);
+        let mut expect: Vec<u32> = a.iter().chain(b.iter()).copied().collect();
+        expect.sort_unstable();
+        prop_assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn merge_into_equals_std(a in sorted_vec(128), b in sorted_vec(128)) {
+        let mut out = vec![0u32; a.len() + b.len()];
+        merge_into(&a, &b, &mut out);
+        let mut expect: Vec<u32> = a.iter().chain(b.iter()).copied().collect();
+        expect.sort_unstable();
+        prop_assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn sort_split_postconditions(za in sorted_vec(64), wb in sorted_vec(64), frac in 0.0f64..=1.0) {
+        let (na, nb) = (za.len(), wb.len());
+        let total = na + nb;
+        let ma = (total as f64 * frac) as usize;
+        // Buffers sized to fit both outcomes.
+        let mut z = za.clone();
+        z.resize(na.max(ma), 0);
+        let mut w = wb.clone();
+        w.resize(nb.max(total - ma), 0);
+        let mut scratch = Vec::new();
+        let r = sort_split(&mut z, na, &mut w, nb, ma, &mut scratch);
+
+        prop_assert_eq!(r.ma + r.mb, total);
+        prop_assert_eq!(r.ma, ma);
+        let x = &z[..r.ma];
+        let y = &w[..r.mb];
+        // Both sorted.
+        prop_assert!(x.windows(2).all(|p| p[0] <= p[1]));
+        prop_assert!(y.windows(2).all(|p| p[0] <= p[1]));
+        // Split point: max X <= min Y.
+        if !x.is_empty() && !y.is_empty() {
+            prop_assert!(x[x.len() - 1] <= y[0]);
+        }
+        // Multiset preservation.
+        let mut got: Vec<u32> = x.iter().chain(y.iter()).copied().collect();
+        got.sort_unstable();
+        let mut expect: Vec<u32> = za.iter().chain(wb.iter()).copied().collect();
+        expect.sort_unstable();
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn sort_split_full_postconditions(a in sorted_vec(64), b in sorted_vec(64)) {
+        let mut x = a.clone();
+        let mut y = b.clone();
+        let mut scratch = Vec::new();
+        sort_split_full(&mut x, &mut y, &mut scratch);
+        prop_assert!(x.windows(2).all(|p| p[0] <= p[1]));
+        prop_assert!(y.windows(2).all(|p| p[0] <= p[1]));
+        if !x.is_empty() && !y.is_empty() {
+            prop_assert!(x[x.len() - 1] <= y[0]);
+        }
+        let mut got: Vec<u32> = x.iter().chain(y.iter()).copied().collect();
+        got.sort_unstable();
+        let mut expect: Vec<u32> = a.iter().chain(b.iter()).copied().collect();
+        expect.sort_unstable();
+        prop_assert_eq!(got, expect);
+    }
+}

@@ -1,0 +1,27 @@
+//! # psync — the P-Sync pipelined batched-heap GPU baseline
+//!
+//! He, Agarwal & Prasad (HiPC'12) extended Deo & Prasad's parallel heap
+//! to GPUs: a heap of `k`-key batch nodes where operations move through
+//! the tree **level by level in lock step**, with a device-wide barrier
+//! (in practice a kernel relaunch) between every two pipeline stages.
+//! The paper uses it as the GPU baseline ("P-Sync") and attributes its
+//! 7–11× deficit to exactly this strict pipeline synchronization
+//! (§6.3), plus the fixed batch-size restriction ("requires to insert
+//! or delete a fixed number of keys at once") and no concurrent
+//! insert/delete phases (footnote 5).
+//!
+//! This crate provides:
+//!
+//! * [`SeqBatchHeap`] — the underlying batched heap (same `SORT_SPLIT`
+//!   node algebra as BGPQ, no concurrency), exhaustively tested;
+//! * [`pipeline`] — the virtual-time pipeline driver: ops enter one per
+//!   step, each op occupies `depth` stages, every step ends in a
+//!   device-wide barrier whose cost models the kernel relaunch. Heap
+//!   mutations are performed for real (sequentially, in op order); the
+//!   virtual clock reflects the pipeline schedule.
+
+pub mod pipeline;
+pub mod seq_heap;
+
+pub use pipeline::{run_phase, PhaseKind, PsyncConfig, PsyncPhaseResult};
+pub use seq_heap::SeqBatchHeap;

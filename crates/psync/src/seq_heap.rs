@@ -1,0 +1,342 @@
+//! Sequential batched heap: the data structure under P-Sync's pipeline.
+//!
+//! Same node algebra as BGPQ (sorted `k`-key nodes, `SORT_SPLIT`
+//! between them, top-down traversals) without the concurrency
+//! machinery: He et al.'s heap processes one pipeline stage at a time,
+//! so the structure itself is sequential.
+
+use pq_api::{Entry, KeyType, ValueType};
+use primitives::{sort_split, sort_split_full};
+
+/// A sequential batched min-heap with fixed node capacity `k`.
+///
+/// Inserts accept 1..=k items (padded internally into the root/tail
+/// handling); deletes return up to `k` smallest. All non-root nodes are
+/// full.
+pub struct SeqBatchHeap<K, V> {
+    /// 1-based node array; `nodes[0]` unused.
+    nodes: Vec<Vec<Entry<K, V>>>,
+    /// Number of nodes in use including the root; 0 = empty.
+    heap_size: usize,
+    /// Keys in the root (≤ k).
+    root_len: usize,
+    /// Partial-batch staging (like BGPQ's buffer, but sequential).
+    buffer: Vec<Entry<K, V>>,
+    k: usize,
+    len: usize,
+    scratch: Vec<Entry<K, V>>,
+}
+
+impl<K: KeyType, V: ValueType> SeqBatchHeap<K, V> {
+    pub fn new(k: usize) -> Self {
+        assert!(k >= 1);
+        Self {
+            nodes: vec![Vec::new()],
+            heap_size: 0,
+            root_len: 0,
+            buffer: Vec::new(),
+            k,
+            len: 0,
+            scratch: Vec::new(),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    pub fn node_capacity(&self) -> usize {
+        self.k
+    }
+
+    /// Depth (levels) of the current heap; the pipeline length.
+    pub fn depth(&self) -> u32 {
+        if self.heap_size == 0 {
+            1
+        } else {
+            usize::BITS - self.heap_size.leading_zeros()
+        }
+    }
+
+    fn node(&mut self, i: usize) -> &mut Vec<Entry<K, V>> {
+        while self.nodes.len() <= i {
+            self.nodes.push(Vec::new());
+        }
+        &mut self.nodes[i]
+    }
+
+    /// Insert a batch of 1..=k items.
+    pub fn insert_batch(&mut self, items: &[Entry<K, V>]) {
+        assert!(!items.is_empty() && items.len() <= self.k);
+        self.len += items.len();
+        let k = self.k;
+        let mut batch: Vec<Entry<K, V>> = items.to_vec();
+        batch.sort_unstable();
+
+        if self.heap_size == 0 {
+            self.nodes[0].clear();
+            let root = self.node(1);
+            root.clear();
+            root.extend_from_slice(&batch);
+            self.root_len = batch.len();
+            self.heap_size = 1;
+            return;
+        }
+
+        // Keep the smallest keys in the root.
+        if self.root_len > 0 {
+            let rl = self.root_len;
+            let bl = batch.len();
+            let mut root = std::mem::take(&mut self.nodes[1]);
+            sort_split(&mut root, rl, &mut batch, bl, rl, &mut self.scratch);
+            self.nodes[1] = root;
+        }
+
+        // Stage partial batches in the buffer until a full node forms.
+        self.buffer.extend_from_slice(&batch);
+        self.buffer.sort_unstable();
+        if self.root_len + self.buffer.len() <= self.k && self.heap_size == 1 {
+            // Top up a partial root directly while the heap is trivial.
+            let mut root = std::mem::take(&mut self.nodes[1]);
+            root.truncate(self.root_len);
+            root.extend_from_slice(&self.buffer);
+            root.sort_unstable();
+            self.root_len = root.len();
+            self.buffer.clear();
+            self.nodes[1] = root;
+            return;
+        }
+        while self.buffer.len() >= k {
+            let full: Vec<Entry<K, V>> = self.buffer.drain(..k).collect();
+            self.push_full_node(full);
+        }
+    }
+
+    /// Sift a full sorted node down the root→target path, SORT_SPLITting
+    /// with every node on the path (including a possibly-partial root,
+    /// since buffered batches can hold keys below a refilled root).
+    fn push_full_node(&mut self, mut batch: Vec<Entry<K, V>>) {
+        debug_assert_eq!(batch.len(), self.k);
+        let tar = self.heap_size + 1;
+        self.heap_size = tar;
+        let mut cur = 1usize;
+        while cur != tar {
+            let mut node = std::mem::take(&mut self.nodes[cur]);
+            let nl = node.len();
+            if nl == self.k {
+                sort_split_full(&mut node, &mut batch, &mut self.scratch);
+            } else if nl > 0 {
+                sort_split(&mut node, nl, &mut batch, self.k, nl, &mut self.scratch);
+            }
+            self.nodes[cur] = node;
+            let lt = usize::BITS - tar.leading_zeros();
+            let lc = usize::BITS - cur.leading_zeros();
+            cur = tar >> (lt - lc - 1);
+        }
+        let slot = self.node(tar);
+        debug_assert!(slot.is_empty());
+        *slot = batch;
+    }
+
+    /// Delete up to `count ≤ k` smallest items into `out`; returns how
+    /// many were produced.
+    pub fn delete_min_batch(&mut self, out: &mut Vec<Entry<K, V>>, count: usize) -> usize {
+        assert!(count >= 1 && count <= self.k);
+        let start = out.len();
+        if self.heap_size == 0 {
+            return 0;
+        }
+        let k = self.k;
+
+        // Gather candidates: root ∪ buffer hold the global minimum set.
+        while out.len() - start < count {
+            if self.root_len == 0 && !self.refill_root() {
+                // Root refused: take from the buffer directly.
+                if self.buffer.is_empty() {
+                    break;
+                }
+                let take = (count - (out.len() - start)).min(self.buffer.len());
+                out.extend(self.buffer.drain(..take));
+                continue;
+            }
+            // Extract min(root head, buffer head) to respect the buffer.
+            let root_head = self.nodes[1][0];
+            if let Some(&buf_head) = self.buffer.first() {
+                if buf_head < root_head {
+                    out.push(buf_head);
+                    self.buffer.remove(0);
+                    continue;
+                }
+            }
+            out.push(root_head);
+            self.nodes[1].remove(0);
+            self.root_len -= 1;
+        }
+        let got = out.len() - start;
+        self.len -= got;
+        if self.len == 0 {
+            self.heap_size = 0;
+            self.root_len = 0;
+            self.buffer.clear();
+            self.nodes[1].clear();
+        }
+        let _ = k;
+        got
+    }
+
+    /// Refill an empty root from the last node, sift down. Returns false
+    /// if no full node exists.
+    fn refill_root(&mut self) -> bool {
+        if self.heap_size <= 1 {
+            return false;
+        }
+        let last = self.heap_size;
+        self.heap_size -= 1;
+        let node = std::mem::take(&mut self.nodes[last]);
+        self.nodes[1] = node;
+        self.root_len = self.k;
+        // Sift down.
+        let mut cur = 1usize;
+        loop {
+            let (l, r) = (2 * cur, 2 * cur + 1);
+            let l_full = l <= self.heap_size && self.nodes.get(l).is_some_and(|n| !n.is_empty());
+            let r_full = r <= self.heap_size && self.nodes.get(r).is_some_and(|n| !n.is_empty());
+            if !l_full && !r_full {
+                break;
+            }
+            let y = if l_full && r_full {
+                let (x, y) =
+                    if self.nodes[l].last() > self.nodes[r].last() { (l, r) } else { (r, l) };
+                let mut ln = std::mem::take(&mut self.nodes[y]);
+                let mut rn = std::mem::take(&mut self.nodes[x]);
+                sort_split_full(&mut ln, &mut rn, &mut self.scratch);
+                self.nodes[y] = ln;
+                self.nodes[x] = rn;
+                y
+            } else if l_full {
+                l
+            } else {
+                r
+            };
+            if self.nodes[cur].last() <= self.nodes[y].first() {
+                break;
+            }
+            let mut cn = std::mem::take(&mut self.nodes[cur]);
+            let mut yn = std::mem::take(&mut self.nodes[y]);
+            sort_split_full(&mut cn, &mut yn, &mut self.scratch);
+            self.nodes[cur] = cn;
+            self.nodes[y] = yn;
+            cur = y;
+        }
+        true
+    }
+
+    /// Quiescent invariant check; returns total stored keys.
+    pub fn check_invariants(&self) -> usize {
+        if self.heap_size == 0 {
+            assert_eq!(self.len, 0);
+            return 0;
+        }
+        let mut total = self.root_len + self.buffer.len();
+        assert_eq!(self.nodes[1].len(), self.root_len);
+        assert!(self.nodes[1].windows(2).all(|p| p[0] <= p[1]), "root unsorted");
+        assert!(self.buffer.windows(2).all(|p| p[0] <= p[1]), "buffer unsorted");
+        for i in 2..=self.heap_size {
+            let n = &self.nodes[i];
+            assert_eq!(n.len(), self.k, "node {i} not full");
+            assert!(n.windows(2).all(|p| p[0] <= p[1]), "node {i} unsorted");
+            let parent = i / 2;
+            if parent == 1 {
+                if self.root_len > 0 {
+                    assert!(self.nodes[1][self.root_len - 1] <= n[0], "node {i} below root");
+                }
+            } else {
+                assert!(self.nodes[parent][self.k - 1] <= n[0], "node {i} below parent");
+            }
+            total += self.k;
+        }
+        assert_eq!(total, self.len, "len drift");
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn random_ops_match_model() {
+        let mut h = SeqBatchHeap::<u32, u32>::new(8);
+        let mut model = std::collections::BinaryHeap::new();
+        let mut rng = StdRng::seed_from_u64(17);
+        let mut out = Vec::new();
+        for step in 0..3000 {
+            if rng.gen_bool(0.55) || model.is_empty() {
+                let n = rng.gen_range(1..=8usize);
+                let items: Vec<Entry<u32, u32>> =
+                    (0..n).map(|_| Entry::new(rng.gen_range(0..1 << 30), 0)).collect();
+                for e in &items {
+                    model.push(std::cmp::Reverse(e.key));
+                }
+                h.insert_batch(&items);
+            } else {
+                out.clear();
+                let n = rng.gen_range(1..=8usize);
+                h.delete_min_batch(&mut out, n);
+                let mut expect = Vec::new();
+                for _ in 0..n {
+                    match model.pop() {
+                        Some(std::cmp::Reverse(x)) => expect.push(x),
+                        None => break,
+                    }
+                }
+                let got: Vec<u32> = out.iter().map(|e| e.key).collect();
+                assert_eq!(got, expect, "step {step}");
+            }
+            assert_eq!(h.len(), model.len(), "step {step}");
+        }
+        h.check_invariants();
+    }
+
+    #[test]
+    fn full_batch_cycle() {
+        let mut h = SeqBatchHeap::<u32, ()>::new(4);
+        for c in (0..64u32).collect::<Vec<_>>().chunks(4) {
+            let items: Vec<Entry<u32, ()>> = c.iter().map(|&k| Entry::new(k, ())).collect();
+            h.insert_batch(&items);
+        }
+        h.check_invariants();
+        let mut out = Vec::new();
+        while h.delete_min_batch(&mut out, 4) > 0 {}
+        let keys: Vec<u32> = out.iter().map(|e| e.key).collect();
+        assert_eq!(keys, (0..64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn depth_grows_logarithmically() {
+        let mut h = SeqBatchHeap::<u32, ()>::new(2);
+        assert_eq!(h.depth(), 1);
+        for c in (0..32u32).collect::<Vec<_>>().chunks(2) {
+            let items: Vec<Entry<u32, ()>> = c.iter().map(|&k| Entry::new(k, ())).collect();
+            h.insert_batch(&items);
+        }
+        assert!(h.depth() >= 4 && h.depth() <= 5, "depth = {}", h.depth());
+    }
+
+    #[test]
+    fn empty_behaviour() {
+        let mut h = SeqBatchHeap::<u32, ()>::new(4);
+        let mut out = Vec::new();
+        assert_eq!(h.delete_min_batch(&mut out, 4), 0);
+        h.insert_batch(&[Entry::new(3, ())]);
+        assert_eq!(h.delete_min_batch(&mut out, 4), 1);
+        assert_eq!(h.delete_min_batch(&mut out, 4), 0);
+        assert!(h.is_empty());
+    }
+}

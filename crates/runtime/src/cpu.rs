@@ -1,0 +1,110 @@
+//! Real-threads platform backed by `parking_lot` raw mutexes.
+
+use crate::platform::Platform;
+use parking_lot::lock_api::RawMutex as RawMutexApi;
+use parking_lot::RawMutex;
+use primitives::PrimitiveCost;
+
+/// Per-thread context for [`CpuPlatform`]. Carries no state — real
+/// threads need none — but keeps the worker-passing discipline uniform
+/// across platforms.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct CpuWorker;
+
+/// A lock table of `parking_lot` raw mutexes; primitive costs are
+/// ignored (the real CPU does the real work).
+pub struct CpuPlatform {
+    locks: Box<[RawMutex]>,
+}
+
+impl CpuPlatform {
+    /// Build a platform with `n` locks.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 1, "need at least one lock");
+        Self { locks: (0..n).map(|_| RawMutex::INIT).collect() }
+    }
+}
+
+impl Platform for CpuPlatform {
+    type Worker = CpuWorker;
+
+    fn num_locks(&self) -> usize {
+        self.locks.len()
+    }
+
+    #[inline]
+    fn lock(&self, _w: &mut CpuWorker, lock: usize) {
+        self.locks[lock].lock();
+    }
+
+    #[inline]
+    fn try_lock(&self, _w: &mut CpuWorker, lock: usize) -> bool {
+        self.locks[lock].try_lock()
+    }
+
+    #[inline]
+    fn unlock(&self, _w: &mut CpuWorker, lock: usize) {
+        // SAFETY (of the locking protocol, not memory): the heap's
+        // hand-over-hand discipline guarantees the calling worker holds
+        // `lock`; see `Platform` docs.
+        unsafe { self.locks[lock].unlock() };
+    }
+
+    #[inline]
+    fn charge(&self, _w: &mut CpuWorker, _c: PrimitiveCost) {}
+
+    #[inline]
+    fn backoff(&self, _w: &mut CpuWorker) {
+        // On an oversubscribed host (this repo's CI is single-core) a
+        // pure spin would starve the thread we are waiting on.
+        std::thread::yield_now();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn locks_exclude_concurrent_increments() {
+        let p = CpuPlatform::new(1);
+        let counter = AtomicU64::new(0);
+        let max_seen = AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    let mut w = CpuWorker;
+                    for _ in 0..1000 {
+                        p.lock(&mut w, 0);
+                        let inside = counter.fetch_add(1, Ordering::SeqCst) + 1;
+                        max_seen.fetch_max(inside, Ordering::SeqCst);
+                        counter.fetch_sub(1, Ordering::SeqCst);
+                        p.unlock(&mut w, 0);
+                    }
+                });
+            }
+        });
+        assert_eq!(max_seen.load(Ordering::SeqCst), 1, "critical section was not exclusive");
+    }
+
+    #[test]
+    fn try_lock_reports_held() {
+        let p = CpuPlatform::new(2);
+        let mut w = CpuWorker;
+        assert!(p.try_lock(&mut w, 0));
+        assert!(!p.try_lock(&mut w, 0), "second try_lock on held lock must fail");
+        assert!(p.try_lock(&mut w, 1), "other locks are independent");
+        p.unlock(&mut w, 0);
+        p.unlock(&mut w, 1);
+        assert!(p.try_lock(&mut w, 0), "released lock can be re-acquired");
+        p.unlock(&mut w, 0);
+    }
+
+    #[test]
+    fn charge_is_free() {
+        let p = CpuPlatform::new(1);
+        let mut w = CpuWorker;
+        p.charge(&mut w, PrimitiveCost::Sort { n: 1 << 20 });
+    }
+}

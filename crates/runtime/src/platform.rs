@@ -1,0 +1,42 @@
+//! The [`Platform`] trait.
+
+use primitives::PrimitiveCost;
+
+/// Execution environment for the batched heap.
+///
+/// A platform owns a table of `num_locks()` locks addressed by index —
+/// BGPQ maps heap node `i` to lock `i` (root and partial buffer share
+/// lock 0, exactly as in the paper). Operations take a `&mut Worker`,
+/// the per-thread (or per-simulated-block) execution context.
+///
+/// # Locking discipline
+///
+/// `unlock(w, l)` must only be called by the worker that currently holds
+/// `l` via `lock`/`try_lock`. The heap code upholds this by construction
+/// (hand-over-hand traversal); platforms may treat a violation as a
+/// panic.
+pub trait Platform: Send + Sync {
+    /// Per-thread execution context (e.g. the simulator's agent handle).
+    type Worker: Send;
+
+    /// Number of locks in the table.
+    fn num_locks(&self) -> usize;
+
+    /// Acquire lock `lock`, blocking (in real or virtual time).
+    fn lock(&self, w: &mut Self::Worker, lock: usize);
+
+    /// Try to acquire `lock` without blocking.
+    fn try_lock(&self, w: &mut Self::Worker, lock: usize) -> bool;
+
+    /// Release `lock` (caller must hold it).
+    fn unlock(&self, w: &mut Self::Worker, lock: usize);
+
+    /// Account the cost of executing a data-parallel primitive. A no-op
+    /// on real hardware, a virtual-clock advance in the simulator.
+    fn charge(&self, w: &mut Self::Worker, c: PrimitiveCost);
+
+    /// One iteration of a spin-wait (used while waiting for a
+    /// collaborating insertion to refill the root, §4.3). Must allow the
+    /// awaited event to make progress.
+    fn backoff(&self, w: &mut Self::Worker);
+}

@@ -1,0 +1,69 @@
+//! Quantifies SprayList's relaxation: deleted keys must come from a
+//! bounded window near the head (Alistarh et al. prove O(p·log³p) whp),
+//! and the queue must never "lose" priority order wholesale.
+
+use pq_api::PriorityQueue;
+use skiplist_pq::SprayListPq;
+use std::collections::BTreeSet;
+
+/// Insert `n` distinct keys, spray-delete half of them one at a time,
+/// and measure each deletion's *rank* among the keys live at that
+/// moment (rank 0 = exact minimum).
+fn rank_profile(n: u32, threads_hint: usize) -> Vec<usize> {
+    let q = SprayListPq::<u32, ()>::new(threads_hint, 1 << 20);
+    for k in 0..n {
+        q.insert(k, ());
+    }
+    let mut live: BTreeSet<u32> = (0..n).collect();
+    let mut ranks = Vec::new();
+    for _ in 0..n / 2 {
+        let e = q.delete_min().expect("non-empty");
+        let rank = live.range(..e.key).count();
+        ranks.push(rank);
+        assert!(live.remove(&e.key), "key {} deleted twice", e.key);
+    }
+    ranks
+}
+
+#[test]
+fn spray_rank_error_is_bounded() {
+    let ranks = rank_profile(20_000, 8);
+    let max = *ranks.iter().max().unwrap();
+    let mean = ranks.iter().sum::<usize>() as f64 / ranks.len() as f64;
+    eprintln!("spray ranks: mean {mean:.2}, max {max}");
+    // p = 8 ⇒ window of a few dozen; enforce a generous envelope that
+    // still catches a broken spray (which would show ranks in the
+    // thousands).
+    assert!(max < 512, "spray strayed outside its window: max rank {max}");
+    assert!(mean < 32.0, "mean rank error too high: {mean:.2}");
+}
+
+#[test]
+fn smaller_thread_hint_sprays_tighter() {
+    let mean = |ranks: &[usize]| ranks.iter().sum::<usize>() as f64 / ranks.len() as f64;
+    let tight = rank_profile(10_000, 1);
+    let wide = rank_profile(10_000, 64);
+    let (mt, mw) = (mean(&tight), mean(&wide));
+    eprintln!("mean rank: p=1 -> {mt:.2}, p=64 -> {mw:.2}");
+    assert!(mt <= mw + 1.0, "spray width must grow with the thread hint: {mt:.2} vs {mw:.2}");
+}
+
+#[test]
+fn exact_fallback_after_spray_exhaustion() {
+    // With 2 keys and a huge spray window, sprays may land past the end;
+    // the fallback must still deliver exact minima and emptiness.
+    let q = SprayListPq::<u32, ()>::new(64, 4);
+    q.insert(10, ());
+    q.insert(5, ());
+    let a = q.delete_min().unwrap().key;
+    let b = q.delete_min().unwrap().key;
+    assert_eq!(
+        {
+            let mut v = vec![a, b];
+            v.sort();
+            v
+        },
+        vec![5, 10]
+    );
+    assert!(q.delete_min().is_none());
+}

@@ -1,0 +1,160 @@
+//! Random weighted digraphs for the SSSP/Dijkstra workload.
+//!
+//! The paper's introduction motivates BGPQ with "the Dijkstra's
+//! algorithm in graph theory" (§1), and the GPU priority-queue work it
+//! cites (\[7\], \[15\]) evaluates on SSSP. This generator produces
+//! connected random digraphs in compressed-sparse-row form:
+//!
+//! * `n` vertices, average out-degree `d`;
+//! * weights uniform in `[1, max_weight]`;
+//! * connectivity guaranteed by a random spanning arborescence from
+//!   vertex 0 (every vertex is reachable from the source).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generation parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct GraphSpec {
+    pub vertices: usize,
+    /// Average out-degree (total edges ≈ `vertices * degree`).
+    pub degree: usize,
+    pub max_weight: u32,
+    pub seed: u64,
+}
+
+impl GraphSpec {
+    pub fn new(vertices: usize, degree: usize, seed: u64) -> Self {
+        Self { vertices, degree, max_weight: 100, seed }
+    }
+}
+
+/// A weighted digraph in CSR form.
+#[derive(Debug, Clone)]
+pub struct Graph {
+    /// `offsets[v]..offsets[v+1]` indexes `edges` for vertex `v`.
+    pub offsets: Vec<usize>,
+    /// `(target, weight)` pairs.
+    pub edges: Vec<(u32, u32)>,
+}
+
+impl Graph {
+    pub fn generate(spec: GraphSpec) -> Self {
+        assert!(spec.vertices >= 1);
+        assert!(spec.max_weight >= 1);
+        let n = spec.vertices;
+        let mut rng = StdRng::seed_from_u64(spec.seed);
+        let mut adj: Vec<Vec<(u32, u32)>> = vec![Vec::new(); n];
+
+        // Spanning structure: vertex v > 0 gets an incoming edge from a
+        // random earlier vertex, so everything is reachable from 0.
+        for v in 1..n {
+            let u = rng.gen_range(0..v);
+            let w = rng.gen_range(1..=spec.max_weight);
+            adj[u].push((v as u32, w));
+        }
+        // Random extra edges up to the requested degree.
+        let extra = n.saturating_mul(spec.degree).saturating_sub(n - 1);
+        for _ in 0..extra {
+            let u = rng.gen_range(0..n);
+            let v = rng.gen_range(0..n);
+            if u == v {
+                continue;
+            }
+            let w = rng.gen_range(1..=spec.max_weight);
+            adj[u].push((v as u32, w));
+        }
+
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut edges = Vec::new();
+        offsets.push(0);
+        for vertex_edges in adj.iter().take(n) {
+            edges.extend_from_slice(vertex_edges);
+            offsets.push(edges.len());
+        }
+        Self { offsets, edges }
+    }
+
+    pub fn vertices(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Outgoing `(target, weight)` edges of `v`.
+    pub fn neighbors(&self, v: usize) -> &[(u32, u32)] {
+        &self.edges[self.offsets[v]..self.offsets[v + 1]]
+    }
+
+    /// Reference sequential Dijkstra from `source`; returns the
+    /// distance array (`u64::MAX` = unreachable).
+    pub fn dijkstra_reference(&self, source: usize) -> Vec<u64> {
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+        let n = self.vertices();
+        let mut dist = vec![u64::MAX; n];
+        dist[source] = 0;
+        let mut open = BinaryHeap::new();
+        open.push(Reverse((0u64, source)));
+        while let Some(Reverse((d, v))) = open.pop() {
+            if d > dist[v] {
+                continue;
+            }
+            for &(t, w) in self.neighbors(v) {
+                let nd = d + w as u64;
+                if nd < dist[t as usize] {
+                    dist[t as usize] = nd;
+                    open.push(Reverse((nd, t as usize)));
+                }
+            }
+        }
+        dist
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_and_sized() {
+        let a = Graph::generate(GraphSpec::new(500, 4, 9));
+        let b = Graph::generate(GraphSpec::new(500, 4, 9));
+        assert_eq!(a.offsets, b.offsets);
+        assert_eq!(a.edges, b.edges);
+        assert_eq!(a.vertices(), 500);
+        assert!(a.edge_count() >= 499, "spanning edges present");
+    }
+
+    #[test]
+    fn every_vertex_reachable_from_source() {
+        let g = Graph::generate(GraphSpec::new(300, 3, 4));
+        let dist = g.dijkstra_reference(0);
+        assert!(dist.iter().all(|&d| d != u64::MAX), "all vertices reachable");
+    }
+
+    #[test]
+    fn weights_in_range() {
+        let g = Graph::generate(GraphSpec::new(100, 5, 1));
+        assert!(g.edges.iter().all(|&(_, w)| (1..=100).contains(&w)));
+    }
+
+    #[test]
+    fn reference_satisfies_triangle_inequality() {
+        let g = Graph::generate(GraphSpec::new(200, 4, 2));
+        let dist = g.dijkstra_reference(0);
+        for v in 0..g.vertices() {
+            if dist[v] == u64::MAX {
+                continue;
+            }
+            for &(t, w) in g.neighbors(v) {
+                assert!(
+                    dist[t as usize] <= dist[v] + w as u64,
+                    "edge ({v}->{t}) violates relaxation"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,202 @@
+//! 2-D obstacle grids for A* route planning (§6.5).
+//!
+//! "An obstacle rate r means r% of the nodes in the grid is an
+//! obstacle. The obstacles are randomly distributed in the grid, and
+//! there always exists a path from the start node to the target node.
+//! For any node in the grid, it has 8 directions to move."
+//!
+//! We guarantee the path by carving a random monotone staircase from
+//! start to goal after sprinkling obstacles, then verify reachability
+//! with a BFS in debug builds.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Grid generation parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct GridSpec {
+    pub width: usize,
+    pub height: usize,
+    /// Fraction of cells that are obstacles (0.10 / 0.20 in the paper).
+    pub obstacle_rate: f64,
+    pub seed: u64,
+}
+
+impl GridSpec {
+    pub fn new(side: usize, obstacle_rate: f64, seed: u64) -> Self {
+        Self { width: side, height: side, obstacle_rate, seed }
+    }
+}
+
+/// A generated grid. Start is `(0, 0)`, goal `(width-1, height-1)`.
+#[derive(Debug, Clone)]
+pub struct Grid {
+    pub width: usize,
+    pub height: usize,
+    /// Row-major obstacle bitmap.
+    blocked: Vec<bool>,
+}
+
+/// The 8 movement directions.
+pub const DIRS: [(i64, i64); 8] =
+    [(-1, -1), (-1, 0), (-1, 1), (0, -1), (0, 1), (1, -1), (1, 0), (1, 1)];
+
+impl Grid {
+    pub fn generate(spec: GridSpec) -> Self {
+        assert!(spec.width >= 2 && spec.height >= 2);
+        assert!((0.0..1.0).contains(&spec.obstacle_rate));
+        let mut rng = StdRng::seed_from_u64(spec.seed);
+        let mut blocked: Vec<bool> =
+            (0..spec.width * spec.height).map(|_| rng.gen_bool(spec.obstacle_rate)).collect();
+        // Carve a random monotone staircase start→goal so a path always
+        // exists.
+        let (mut x, mut y) = (0usize, 0usize);
+        blocked[0] = false;
+        while x + 1 < spec.width || y + 1 < spec.height {
+            let go_x = if x + 1 >= spec.width {
+                false
+            } else if y + 1 >= spec.height {
+                true
+            } else {
+                rng.gen_bool(0.5)
+            };
+            if go_x {
+                x += 1;
+            } else {
+                y += 1;
+            }
+            blocked[y * spec.width + x] = false;
+        }
+        let g = Self { width: spec.width, height: spec.height, blocked };
+        debug_assert!(g.bfs_reachable(), "carved path must connect start and goal");
+        g
+    }
+
+    #[inline]
+    pub fn cells(&self) -> usize {
+        self.width * self.height
+    }
+
+    #[inline]
+    pub fn idx(&self, x: usize, y: usize) -> usize {
+        y * self.width + x
+    }
+
+    #[inline]
+    pub fn is_blocked(&self, x: usize, y: usize) -> bool {
+        self.blocked[self.idx(x, y)]
+    }
+
+    pub fn start(&self) -> (usize, usize) {
+        (0, 0)
+    }
+
+    pub fn goal(&self) -> (usize, usize) {
+        (self.width - 1, self.height - 1)
+    }
+
+    /// Manhattan distance to the goal — the paper's admissible heuristic
+    /// (with unit step costs it under-estimates 8-directional movement
+    /// even more, preserving admissibility).
+    #[inline]
+    pub fn manhattan_to_goal(&self, x: usize, y: usize) -> u64 {
+        let (gx, gy) = self.goal();
+        (gx as i64 - x as i64).unsigned_abs() + (gy as i64 - y as i64).unsigned_abs()
+    }
+
+    /// Neighbor iteration (8 directions, unblocked, in-bounds).
+    pub fn neighbors(&self, x: usize, y: usize) -> impl Iterator<Item = (usize, usize)> + '_ {
+        DIRS.iter().filter_map(move |&(dx, dy)| {
+            let nx = x as i64 + dx;
+            let ny = y as i64 + dy;
+            if nx < 0 || ny < 0 || nx >= self.width as i64 || ny >= self.height as i64 {
+                return None;
+            }
+            let (nx, ny) = (nx as usize, ny as usize);
+            (!self.is_blocked(nx, ny)).then_some((nx, ny))
+        })
+    }
+
+    /// BFS reachability start→goal (validation).
+    pub fn bfs_reachable(&self) -> bool {
+        let mut seen = vec![false; self.cells()];
+        let mut queue = std::collections::VecDeque::new();
+        seen[0] = true;
+        queue.push_back(self.start());
+        let goal = self.goal();
+        while let Some((x, y)) = queue.pop_front() {
+            if (x, y) == goal {
+                return true;
+            }
+            for (nx, ny) in self.neighbors(x, y) {
+                let i = self.idx(nx, ny);
+                if !seen[i] {
+                    seen[i] = true;
+                    queue.push_back((nx, ny));
+                }
+            }
+        }
+        false
+    }
+
+    /// Fraction of blocked cells (sanity checks).
+    pub fn actual_obstacle_rate(&self) -> f64 {
+        self.blocked.iter().filter(|&&b| b).count() as f64 / self.cells() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_always_exists() {
+        for seed in 0..5 {
+            for rate in [0.1, 0.2, 0.4] {
+                let g = Grid::generate(GridSpec::new(64, rate, seed));
+                assert!(g.bfs_reachable(), "seed {seed} rate {rate}");
+            }
+        }
+    }
+
+    #[test]
+    fn obstacle_rate_is_close() {
+        let g = Grid::generate(GridSpec::new(200, 0.2, 11));
+        let r = g.actual_obstacle_rate();
+        assert!((0.15..0.25).contains(&r), "rate {r}");
+    }
+
+    #[test]
+    fn endpoints_are_free() {
+        let g = Grid::generate(GridSpec::new(32, 0.3, 4));
+        assert!(!g.is_blocked(0, 0));
+        let (gx, gy) = g.goal();
+        assert!(!g.is_blocked(gx, gy));
+    }
+
+    #[test]
+    fn neighbors_respect_bounds_and_obstacles() {
+        let g = Grid::generate(GridSpec::new(16, 0.2, 8));
+        let n: Vec<_> = g.neighbors(0, 0).collect();
+        assert!(n.len() <= 3);
+        for (x, y) in n {
+            assert!(x < 16 && y < 16);
+            assert!(!g.is_blocked(x, y));
+        }
+    }
+
+    #[test]
+    fn heuristic_is_zero_at_goal_and_positive_elsewhere() {
+        let g = Grid::generate(GridSpec::new(16, 0.1, 3));
+        let (gx, gy) = g.goal();
+        assert_eq!(g.manhattan_to_goal(gx, gy), 0);
+        assert!(g.manhattan_to_goal(0, 0) > 0);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = Grid::generate(GridSpec::new(48, 0.2, 42));
+        let b = Grid::generate(GridSpec::new(48, 0.2, 42));
+        assert_eq!(a.blocked, b.blocked);
+    }
+}

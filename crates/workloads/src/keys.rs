@@ -1,0 +1,73 @@
+//! Synthetic key streams (§6.3).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Key distribution of the "Ins & Del" rows of Table 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KeyDist {
+    /// Uniform random among 30-bit keys.
+    Random,
+    /// The random keys sorted ascending.
+    Ascending,
+    /// The random keys sorted descending.
+    Descending,
+}
+
+impl KeyDist {
+    pub const ALL: [KeyDist; 3] = [KeyDist::Random, KeyDist::Ascending, KeyDist::Descending];
+
+    pub fn label(self) -> &'static str {
+        match self {
+            KeyDist::Random => "Random",
+            KeyDist::Ascending => "Ascend",
+            KeyDist::Descending => "Descend",
+        }
+    }
+}
+
+/// Generate `n` 30-bit keys with distribution `dist`, deterministically
+/// from `seed`.
+pub fn generate_keys(n: usize, dist: KeyDist, seed: u64) -> Vec<u32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut keys: Vec<u32> = (0..n).map(|_| rng.gen_range(0..1u32 << 30)).collect();
+    match dist {
+        KeyDist::Random => {}
+        KeyDist::Ascending => keys.sort_unstable(),
+        KeyDist::Descending => {
+            keys.sort_unstable();
+            keys.reverse();
+        }
+    }
+    keys
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_30_bit() {
+        let a = generate_keys(1000, KeyDist::Random, 7);
+        let b = generate_keys(1000, KeyDist::Random, 7);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|&k| k < 1 << 30));
+    }
+
+    #[test]
+    fn ascending_is_sorted_descending_is_reversed() {
+        let up = generate_keys(500, KeyDist::Ascending, 3);
+        assert!(up.windows(2).all(|w| w[0] <= w[1]));
+        let down = generate_keys(500, KeyDist::Descending, 3);
+        assert!(down.windows(2).all(|w| w[0] >= w[1]));
+        // Same multiset for a given seed.
+        let mut d = down.clone();
+        d.sort_unstable();
+        assert_eq!(d, up);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        assert_ne!(generate_keys(100, KeyDist::Random, 1), generate_keys(100, KeyDist::Random, 2));
+    }
+}

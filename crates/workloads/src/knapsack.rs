@@ -1,0 +1,182 @@
+//! 0/1 knapsack instance generation (Martello, Pisinger & Toth style).
+//!
+//! The classic generator draws weights `w_i ~ U[1, R]` and sets profits
+//! by correlation family:
+//!
+//! * **uncorrelated**: `p_i ~ U[1, R]`
+//! * **weakly correlated**: `p_i ~ U[w_i - R/10, w_i + R/10]` (clamped ≥ 1)
+//! * **strongly correlated**: `p_i = w_i + R/10`
+//!
+//! and capacity `c = ratio · Σw` (commonly 50%). Strongly correlated
+//! instances are the hard family that makes the branch-and-bound search
+//! trees of §6.5 explode.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Profit/weight correlation family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Correlation {
+    Uncorrelated,
+    Weak,
+    Strong,
+}
+
+impl Correlation {
+    pub fn label(self) -> &'static str {
+        match self {
+            Correlation::Uncorrelated => "uncorrelated",
+            Correlation::Weak => "weakly-correlated",
+            Correlation::Strong => "strongly-correlated",
+        }
+    }
+}
+
+/// Generation parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct KnapsackSpec {
+    pub items: usize,
+    /// Coefficient range `R`.
+    pub range: u64,
+    pub correlation: Correlation,
+    /// Capacity as a fraction of total weight (the classic 0.5).
+    pub capacity_ratio: f64,
+    pub seed: u64,
+}
+
+impl KnapsackSpec {
+    pub fn new(items: usize, correlation: Correlation, seed: u64) -> Self {
+        Self { items, range: 1000, correlation, capacity_ratio: 0.5, seed }
+    }
+}
+
+/// A generated instance with items pre-sorted by profit density
+/// (descending), the order branch-and-bound wants.
+#[derive(Debug, Clone)]
+pub struct KnapsackInstance {
+    pub profits: Vec<u64>,
+    pub weights: Vec<u64>,
+    pub capacity: u64,
+    pub spec_items: usize,
+}
+
+impl KnapsackInstance {
+    pub fn generate(spec: KnapsackSpec) -> Self {
+        assert!(spec.items >= 1 && spec.range >= 10);
+        let mut rng = StdRng::seed_from_u64(spec.seed);
+        let r = spec.range;
+        let mut pairs: Vec<(u64, u64)> = (0..spec.items)
+            .map(|_| {
+                let w = rng.gen_range(1..=r);
+                let p = match spec.correlation {
+                    Correlation::Uncorrelated => rng.gen_range(1..=r),
+                    Correlation::Weak => {
+                        let lo = w.saturating_sub(r / 10).max(1);
+                        let hi = w + r / 10;
+                        rng.gen_range(lo..=hi)
+                    }
+                    Correlation::Strong => w + r / 10,
+                };
+                (p, w)
+            })
+            .collect();
+        // Sort by density p/w descending (ties: heavier first for a
+        // stable, deterministic order).
+        pairs.sort_by(|a, b| (b.0 * a.1).cmp(&(a.0 * b.1)).then(b.1.cmp(&a.1)));
+        let total_w: u64 = pairs.iter().map(|&(_, w)| w).sum();
+        let capacity = ((total_w as f64) * spec.capacity_ratio) as u64;
+        Self {
+            profits: pairs.iter().map(|&(p, _)| p).collect(),
+            weights: pairs.iter().map(|&(_, w)| w).collect(),
+            capacity,
+            spec_items: spec.items,
+        }
+    }
+
+    pub fn items(&self) -> usize {
+        self.profits.len()
+    }
+
+    /// Dantzig fractional upper bound for a node that has decided items
+    /// `0..level` accumulating (`profit`, `weight`). Admissible: no 0/1
+    /// completion can beat it.
+    pub fn upper_bound(&self, level: usize, profit: u64, weight: u64) -> u64 {
+        if weight > self.capacity {
+            return 0;
+        }
+        let mut room = self.capacity - weight;
+        let mut bound = profit;
+        for i in level..self.items() {
+            let (p, w) = (self.profits[i], self.weights[i]);
+            if w <= room {
+                room -= w;
+                bound += p;
+            } else {
+                // Fractional fill (items are density-sorted).
+                bound += p * room / w;
+                break;
+            }
+        }
+        bound
+    }
+
+    /// Exact optimum by dynamic programming — O(n·capacity); use only on
+    /// small validation instances.
+    pub fn optimum_dp(&self) -> u64 {
+        let cap = self.capacity as usize;
+        let mut best = vec![0u64; cap + 1];
+        for i in 0..self.items() {
+            let (p, w) = (self.profits[i], self.weights[i] as usize);
+            for c in (w..=cap).rev() {
+                best[c] = best[c].max(best[c - w] + p);
+            }
+        }
+        best[cap]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = KnapsackInstance::generate(KnapsackSpec::new(50, Correlation::Weak, 9));
+        let b = KnapsackInstance::generate(KnapsackSpec::new(50, Correlation::Weak, 9));
+        assert_eq!(a.profits, b.profits);
+        assert_eq!(a.weights, b.weights);
+        assert_eq!(a.capacity, b.capacity);
+    }
+
+    #[test]
+    fn density_sorted() {
+        let inst = KnapsackInstance::generate(KnapsackSpec::new(100, Correlation::Uncorrelated, 1));
+        for i in 1..inst.items() {
+            let prev = inst.profits[i - 1] as f64 / inst.weights[i - 1] as f64;
+            let cur = inst.profits[i] as f64 / inst.weights[i] as f64;
+            assert!(prev >= cur - 1e-9, "density order violated at {i}");
+        }
+    }
+
+    #[test]
+    fn strong_correlation_formula() {
+        let inst = KnapsackInstance::generate(KnapsackSpec::new(30, Correlation::Strong, 2));
+        for i in 0..inst.items() {
+            assert_eq!(inst.profits[i], inst.weights[i] + 100);
+        }
+    }
+
+    #[test]
+    fn upper_bound_is_admissible_vs_dp() {
+        let inst = KnapsackInstance::generate(KnapsackSpec::new(24, Correlation::Weak, 3));
+        let opt = inst.optimum_dp();
+        let root_bound = inst.upper_bound(0, 0, 0);
+        assert!(root_bound >= opt, "root bound {root_bound} below optimum {opt}");
+    }
+
+    #[test]
+    fn bound_of_overweight_node_is_zero() {
+        let inst = KnapsackInstance::generate(KnapsackSpec::new(10, Correlation::Uncorrelated, 4));
+        assert_eq!(inst.upper_bound(0, 100, inst.capacity + 1), 0);
+    }
+}

@@ -1,0 +1,24 @@
+//! # workloads — deterministic input generators for the evaluation
+//!
+//! Everything the paper's Section 6 feeds its experiments:
+//!
+//! * [`keys`] — synthetic key streams: uniform 30-bit random keys (the
+//!   open-sourced CBPQ supports only 30-bit keys, footnote 3),
+//!   ascending-sorted and descending-sorted variants (§6.3).
+//! * [`knapsack`] — 0/1 knapsack instances in the style of Martello,
+//!   Pisinger & Toth's generator \[19\]: uncorrelated, weakly correlated
+//!   and strongly correlated item families, 200–1000 items (§6.5).
+//! * [`grid`] — 2-D A* maps: random obstacle grids (10%/20% rates) with
+//!   a guaranteed start→goal path, 8-direction movement (§6.5).
+//!
+//! All generators are seeded and deterministic.
+
+pub mod graph;
+pub mod grid;
+pub mod keys;
+pub mod knapsack;
+
+pub use graph::{Graph, GraphSpec};
+pub use grid::{Grid, GridSpec};
+pub use keys::{generate_keys, KeyDist};
+pub use knapsack::{Correlation, KnapsackInstance, KnapsackSpec};

@@ -1,0 +1,39 @@
+//! Parallel Dijkstra SSSP over BGPQ — the motivating workload of the
+//! paper's introduction ("the Dijkstra's algorithm in graph theory").
+//!
+//! ```text
+//! cargo run --release -p bgpq-examples --bin sssp_dijkstra [vertices] [degree] [threads]
+//! ```
+
+use apps::{solve_sssp, SsspNode};
+use bgpq::{BgpqOptions, CpuBgpq};
+use workloads::{Graph, GraphSpec};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let vertices: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(50_000);
+    let degree: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(8);
+    let threads: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(4);
+
+    let graph = Graph::generate(GraphSpec::new(vertices, degree, 2024));
+    println!("graph: {} vertices, {} edges", graph.vertices(), graph.edge_count());
+
+    let t0 = std::time::Instant::now();
+    let reference = graph.dijkstra_reference(0);
+    println!("sequential Dijkstra: {:?}", t0.elapsed());
+
+    let q: CpuBgpq<u64, SsspNode> =
+        CpuBgpq::new(BgpqOptions { node_capacity: 256, max_nodes: 1 << 16, ..Default::default() });
+    let t1 = std::time::Instant::now();
+    let par = solve_sssp(&graph, 0, &q, threads);
+    println!(
+        "parallel over BGPQ ({threads} threads): {:?}, {} labels expanded",
+        t1.elapsed(),
+        par.nodes_expanded
+    );
+    assert_eq!(par.dist, reference, "distances must match sequential Dijkstra");
+
+    let reachable = par.dist.iter().filter(|&&d| d != u64::MAX).count();
+    let max_d = par.dist.iter().filter(|&&d| d != u64::MAX).max().unwrap();
+    println!("verified: {reachable}/{} reachable, eccentricity {}", vertices, max_d);
+}

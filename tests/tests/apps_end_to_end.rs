@@ -1,0 +1,76 @@
+//! End-to-end application runs across every queue design: the paper's
+//! §6.5 workloads must produce identical *answers* regardless of the
+//! priority queue driving them.
+
+use apps::{
+    solve_astar, solve_astar_sequential, solve_knapsack, solve_knapsack_sequential, AstarNode,
+    KsNode,
+};
+use baseline_heaps::{CoarseLockPq, FineHeapPq};
+use bgpq::{BgpqOptions, CpuBgpq};
+use pq_api::{BatchPriorityQueue, ItemwiseBatch};
+use skiplist_pq::{LindenJonssonPq, SprayListPq};
+use workloads::{Correlation, Grid, GridSpec, KnapsackInstance, KnapsackSpec};
+
+type NamedQueues<V> = Vec<(&'static str, Box<dyn BatchPriorityQueue<u64, V>>)>;
+
+fn queues<V: pq_api::ValueType>(batch: usize) -> NamedQueues<V> {
+    vec![
+        ("coarse", Box::new(ItemwiseBatch::new(CoarseLockPq::<u64, V>::new(), batch))),
+        ("fine", Box::new(ItemwiseBatch::new(FineHeapPq::<u64, V>::new(1 << 18), batch))),
+        ("ljsl", Box::new(ItemwiseBatch::new(LindenJonssonPq::<u64, V>::new(16), batch))),
+        ("spray", Box::new(ItemwiseBatch::new(SprayListPq::<u64, V>::new(4, 16), batch))),
+        (
+            "bgpq",
+            Box::new(CpuBgpq::<u64, V>::new(BgpqOptions {
+                node_capacity: batch,
+                max_nodes: 1 << 14,
+                ..Default::default()
+            })),
+        ),
+    ]
+}
+
+#[test]
+fn knapsack_same_optimum_on_every_queue() {
+    for (items, corr, seed) in [
+        (40usize, Correlation::Uncorrelated, 1u64),
+        (36, Correlation::Weak, 2),
+        (30, Correlation::Strong, 3),
+    ] {
+        let inst = KnapsackInstance::generate(KnapsackSpec::new(items, corr, seed));
+        let expect = solve_knapsack_sequential(&inst).best_profit;
+        assert_eq!(expect, inst.optimum_dp(), "reference must be exact");
+        for (name, q) in queues::<KsNode>(32) {
+            let got = solve_knapsack(&inst, q.as_ref(), 4);
+            assert_eq!(got.best_profit, expect, "{name} on {} items ({corr:?})", items);
+            assert!(q.is_empty(), "{name}: queue must drain");
+        }
+    }
+}
+
+#[test]
+fn astar_same_cost_on_every_queue() {
+    for (side, rate, seed) in [(48usize, 0.10, 1u64), (48, 0.20, 2), (64, 0.20, 3)] {
+        let grid = Grid::generate(GridSpec::new(side, rate, seed));
+        let expect = solve_astar_sequential(&grid).cost;
+        assert!(expect.is_some());
+        for (name, q) in queues::<AstarNode>(32) {
+            let got = solve_astar(&grid, q.as_ref(), 4);
+            assert_eq!(got.cost, expect, "{name} on {side}x{side} rate {rate}");
+        }
+    }
+}
+
+#[test]
+fn knapsack_budget_stops_early_but_stays_sound() {
+    let inst = KnapsackInstance::generate(KnapsackSpec::new(80, Correlation::Strong, 7));
+    let q: CpuBgpq<u64, KsNode> =
+        CpuBgpq::new(BgpqOptions { node_capacity: 32, max_nodes: 1 << 14, ..Default::default() });
+    let r = apps::solve_knapsack_budgeted(&inst, &q, 4, Some(2_000));
+    // The incumbent is always a feasible solution's profit: never above
+    // the exact optimum.
+    let opt = inst.optimum_dp();
+    assert!(r.best_profit <= opt, "incumbent {} above optimum {}", r.best_profit, opt);
+    assert!(r.best_profit > 0, "budgeted run should still find something");
+}

@@ -1,0 +1,115 @@
+//! Cross-crate equivalence: every priority-queue implementation in the
+//! workspace must agree on the same workloads.
+
+use baseline_heaps::{CoarseLockPq, FineHeapPq};
+use bgpq::{BgpqOptions, CpuBgpq};
+use cbpq::CbpqPq;
+use pq_api::{BatchPriorityQueue, Entry, ItemwiseBatch};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use skiplist_pq::{LindenJonssonPq, SprayListPq};
+use workloads::{generate_keys, KeyDist};
+
+type NamedQueues = Vec<(&'static str, Box<dyn BatchPriorityQueue<u32, u32>>)>;
+
+fn all_queues(batch: usize) -> NamedQueues {
+    vec![
+        ("coarse", Box::new(ItemwiseBatch::new(CoarseLockPq::<u32, u32>::new(), batch))),
+        ("fine", Box::new(ItemwiseBatch::new(FineHeapPq::<u32, u32>::new(1 << 18), batch))),
+        ("ljsl", Box::new(ItemwiseBatch::new(LindenJonssonPq::<u32, u32>::new(32), batch))),
+        ("cbpq", Box::new(ItemwiseBatch::new(CbpqPq::<u32, u32>::new(64), batch))),
+        (
+            "bgpq",
+            Box::new(CpuBgpq::<u32, u32>::new(BgpqOptions {
+                node_capacity: batch,
+                max_nodes: 1 << 12,
+                ..Default::default()
+            })),
+        ),
+    ]
+}
+
+/// Strict queues must produce the *identical* sorted key stream.
+#[test]
+fn strict_queues_agree_on_sorted_drain() {
+    for dist in KeyDist::ALL {
+        let keys = generate_keys(20_000, dist, 99);
+        let mut reference: Option<Vec<u32>> = None;
+        for (name, q) in all_queues(64) {
+            let mut items = Vec::with_capacity(64);
+            for chunk in keys.chunks(64) {
+                items.clear();
+                items.extend(chunk.iter().map(|&k| Entry::new(k, 0)));
+                q.insert_batch(&items);
+            }
+            let mut drained = Vec::new();
+            while q.delete_min_batch(&mut drained, 64) > 0 {}
+            let got: Vec<u32> = drained.iter().map(|e| e.key).collect();
+            match &reference {
+                None => {
+                    assert!(got.windows(2).all(|w| w[0] <= w[1]), "{name}: unsorted drain");
+                    reference = Some(got);
+                }
+                Some(r) => assert_eq!(&got, r, "{name} disagrees ({dist:?})"),
+            }
+        }
+    }
+}
+
+/// The relaxed SprayList must conserve the multiset even though its
+/// drain order is only approximately sorted.
+#[test]
+fn spraylist_conserves_multiset() {
+    let keys = generate_keys(10_000, KeyDist::Random, 5);
+    let q = ItemwiseBatch::new(SprayListPq::<u32, u32>::new(4, 32), 64);
+    let mut items = Vec::new();
+    for chunk in keys.chunks(64) {
+        items.clear();
+        items.extend(chunk.iter().map(|&k| Entry::new(k, 0)));
+        q.insert_batch(&items);
+    }
+    let mut drained = Vec::new();
+    while q.delete_min_batch(&mut drained, 64) > 0 {}
+    let mut got: Vec<u32> = drained.iter().map(|e| e.key).collect();
+    got.sort_unstable();
+    let mut expect = keys.clone();
+    expect.sort_unstable();
+    assert_eq!(got, expect);
+}
+
+/// Concurrent mixed workload: all strict queues end with the same key
+/// multiset (deleted ∪ remaining = inserted).
+#[test]
+fn concurrent_mixed_conservation_everywhere() {
+    for (name, q) in all_queues(16) {
+        let inserted = std::sync::atomic::AtomicU64::new(0);
+        let deleted = std::sync::atomic::AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let q = &q;
+                let inserted = &inserted;
+                let deleted = &deleted;
+                s.spawn(move || {
+                    let mut rng = StdRng::seed_from_u64(t);
+                    let mut out = Vec::new();
+                    for _ in 0..200 {
+                        if rng.gen_bool(0.6) {
+                            let n = rng.gen_range(1..=16usize);
+                            let items: Vec<Entry<u32, u32>> =
+                                (0..n).map(|_| Entry::new(rng.gen_range(0..1 << 30), 0)).collect();
+                            q.insert_batch(&items);
+                            inserted.fetch_add(n as u64, std::sync::atomic::Ordering::Relaxed);
+                        } else {
+                            out.clear();
+                            let got = q.delete_min_batch(&mut out, rng.gen_range(1..=16));
+                            deleted.fetch_add(got as u64, std::sync::atomic::Ordering::Relaxed);
+                        }
+                    }
+                });
+            }
+        });
+        let ins = inserted.load(std::sync::atomic::Ordering::Relaxed);
+        let del = deleted.load(std::sync::atomic::Ordering::Relaxed);
+        assert_eq!(q.len() as u64 + del, ins, "{name}: keys lost or duplicated");
+    }
+}

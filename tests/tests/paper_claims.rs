@@ -1,0 +1,130 @@
+//! End-to-end checks of the paper's headline claims, on the simulator:
+//! the qualitative results of Table 2 and Figure 6 (who wins, and in
+//! which direction each design knob moves) must hold in this
+//! reproduction. Absolute factors are recorded in EXPERIMENTS.md.
+
+use gpu_sim::GpuConfig;
+use workloads::{generate_keys, KeyDist};
+
+// The bench crate is a workspace lib too; reuse its drivers through a
+// local copy of the minimal pieces to avoid a dev-dependency cycle.
+use bgpq::{Bgpq, BgpqOptions};
+use bgpq_runtime::SimPlatform;
+use gpu_sim::launch_phased;
+use parking_lot::Mutex;
+use pq_api::Entry;
+use psync::{run_phase, PhaseKind, PsyncConfig, SeqBatchHeap};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+type SimQueue = Bgpq<u32, (), SimPlatform>;
+
+fn bgpq_total_cycles(gpu: GpuConfig, k: usize, keys: &[u32]) -> u64 {
+    let opts = BgpqOptions::with_capacity_for(k, keys.len() + 2 * k);
+    let batches: Vec<&[u32]> = keys.chunks(k).collect();
+    let n = batches.len();
+    let next_i = AtomicUsize::new(0);
+    let next_d = AtomicUsize::new(0);
+    let insert_phase = |ctx: &mut gpu_sim::BlockCtx, q: &SimQueue| {
+        let mut buf = Vec::with_capacity(k);
+        loop {
+            let i = next_i.fetch_add(1, Ordering::Relaxed);
+            if i >= n {
+                break;
+            }
+            buf.clear();
+            buf.extend(batches[i].iter().map(|&key| Entry::new(key, ())));
+            q.insert(ctx.worker(), &buf);
+        }
+    };
+    let delete_phase = |ctx: &mut gpu_sim::BlockCtx, q: &SimQueue| {
+        let mut out = Vec::with_capacity(k);
+        loop {
+            let i = next_d.fetch_add(1, Ordering::Relaxed);
+            if i >= n {
+                break;
+            }
+            out.clear();
+            q.delete_min(ctx.worker(), &mut out, batches[i].len());
+        }
+    };
+    let (reports, q) = launch_phased(
+        gpu,
+        |sched| {
+            let p = SimPlatform::new(sched, opts.max_nodes + 1, gpu.cost, gpu.block_dim);
+            Bgpq::<u32, (), _>::with_platform(p, opts)
+        },
+        &[&insert_phase, &delete_phase],
+    );
+    q.check_invariants();
+    reports[1].makespan_cycles
+}
+
+fn psync_total_cycles(gpu: GpuConfig, k: usize, keys: &[u32]) -> u64 {
+    let cfg = PsyncConfig::new(gpu, k);
+    let heap = Mutex::new(SeqBatchHeap::<u32, ()>::new(k));
+    let batches: Vec<Vec<Entry<u32, ()>>> =
+        keys.chunks(k).map(|c| c.iter().map(|&key| Entry::new(key, ())).collect()).collect();
+    let n = batches.len();
+    let a = run_phase(cfg, &heap, PhaseKind::Insert, &batches, 0).report.makespan_cycles;
+    let b = run_phase(cfg, &heap, PhaseKind::Delete, &[], n).report.makespan_cycles;
+    a + b
+}
+
+/// Table 2, B/P columns: BGPQ beats the pipelined P-Sync at the same
+/// configuration by a clear factor.
+#[test]
+fn claim_bgpq_beats_psync() {
+    let keys = generate_keys(1 << 15, KeyDist::Random, 1);
+    let gpu = GpuConfig::new(16, 512);
+    let b = bgpq_total_cycles(gpu, 1024, &keys);
+    let p = psync_total_cycles(gpu, 1024, &keys);
+    let factor = p as f64 / b as f64;
+    eprintln!("BGPQ {b} cycles vs P-Sync {p} cycles: {factor:.1}x");
+    assert!(factor > 1.5, "expected a clear BGPQ win, got {factor:.2}x");
+}
+
+/// Fig. 6a/6b: at a fixed block size, larger node capacity wins.
+#[test]
+fn claim_larger_nodes_win() {
+    let keys = generate_keys(1 << 15, KeyDist::Random, 2);
+    let gpu = GpuConfig::new(8, 512);
+    let small = bgpq_total_cycles(gpu, 128, &keys);
+    let large = bgpq_total_cycles(gpu, 1024, &keys);
+    eprintln!("k=128: {small}, k=1024: {large}");
+    assert!(large < small, "k=1024 must beat k=128: {large} !< {small}");
+}
+
+/// Fig. 6c: block-count scaling improves performance and then
+/// saturates (the paper: "the benefit from concurrency is restricted
+/// when the thread block number keeps increasing").
+#[test]
+fn claim_block_scaling_then_saturation() {
+    let keys = generate_keys(1 << 15, KeyDist::Random, 3);
+    let run = |blocks| bgpq_total_cycles(GpuConfig::new(blocks, 512), 1024, &keys);
+    let one = run(1);
+    let four = run(4);
+    let sixty_four = run(64);
+    eprintln!("blocks 1/4/64: {one}/{four}/{sixty_four}");
+    assert!(four < one, "4 blocks must beat 1");
+    assert!(sixty_four <= four, "64 blocks must not be slower than 4");
+    // Saturation: the 4→64 gain is much smaller than the 1→4 gain.
+    let early_gain = one as f64 / four as f64;
+    let late_gain = four as f64 / sixty_four as f64;
+    assert!(late_gain < early_gain, "scaling must flatten: {early_gain:.2} vs {late_gain:.2}");
+}
+
+/// Both key distributions run correctly and sorted inputs are not
+/// pathological (Table 2 runs all three distributions).
+#[test]
+fn claim_distributions_all_work() {
+    let gpu = GpuConfig::new(8, 256);
+    let mut cycles = Vec::new();
+    for dist in KeyDist::ALL {
+        let keys = generate_keys(1 << 14, dist, 4);
+        cycles.push(bgpq_total_cycles(gpu, 512, &keys));
+    }
+    eprintln!("random/ascend/descend cycles: {cycles:?}");
+    let max = *cycles.iter().max().unwrap() as f64;
+    let min = *cycles.iter().min().unwrap() as f64;
+    assert!(max / min < 3.0, "no distribution should be pathological: {cycles:?}");
+}

@@ -1,0 +1,83 @@
+//! Long-running soak tests — `#[ignore]`d by default; run explicitly:
+//!
+//! ```text
+//! cargo test -p integration-tests --test soak -- --ignored
+//! ```
+
+use bgpq::{check_history, BgpqOptions, CpuBgpq};
+use pq_api::{BatchPriorityQueue, Entry};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Hours-scale workload compressed to a minute: millions of mixed ops
+/// across threads, with the full linearizability check at the end.
+#[test]
+#[ignore = "soak test: ~1 minute; run with --ignored"]
+fn soak_mixed_concurrent_linearizes() {
+    let q: CpuBgpq<u32, u32> = CpuBgpq::new(BgpqOptions {
+        node_capacity: 64,
+        max_nodes: 1 << 14,
+        ..Default::default()
+    })
+    .with_history();
+    std::thread::scope(|s| {
+        for t in 0..8u64 {
+            let q = &q;
+            s.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(t);
+                let mut out = Vec::new();
+                for _ in 0..20_000 {
+                    if rng.gen_bool(0.55) {
+                        let n = rng.gen_range(1..=64usize);
+                        let items: Vec<Entry<u32, u32>> =
+                            (0..n).map(|_| Entry::new(rng.gen_range(0..1 << 30), 0)).collect();
+                        q.insert_batch(&items);
+                    } else {
+                        out.clear();
+                        q.delete_min_batch(&mut out, rng.gen_range(1..=64));
+                    }
+                }
+            });
+        }
+    });
+    let events = q.inner().take_history();
+    eprintln!("soak: {} operations recorded", events.len());
+    if let Some(v) = check_history(&events) {
+        panic!("violation at seq {}: {}", v.seq, v.detail);
+    }
+    q.inner().check_invariants();
+}
+
+/// Deep schedule-fuzz sweep on the simulator (hundreds of seeds).
+#[test]
+#[ignore = "soak test: ~2 minutes; run with --ignored"]
+fn soak_fuzz_sweep_linearizes() {
+    use bgpq::Bgpq;
+    use bgpq_runtime::SimPlatform;
+    use gpu_sim::{launch, GpuConfig};
+    for seed in 0..200u64 {
+        let cfg = GpuConfig::new(6, 64).with_fuzz_seed(seed);
+        let opts = BgpqOptions { node_capacity: 2, max_nodes: 8192, ..Default::default() };
+        let (_, q) = launch(
+            cfg,
+            |sched| {
+                let p = SimPlatform::new(sched, opts.max_nodes + 1, cfg.cost, cfg.block_dim);
+                Bgpq::<u32, (), _>::with_platform(p, opts).with_history()
+            },
+            |ctx, q| {
+                let bid = ctx.block_id() as u32;
+                let mut out = Vec::new();
+                for i in 0..30u32 {
+                    q.insert(ctx.worker(), &[Entry::new(i * 16 + bid, ())]);
+                    out.clear();
+                    q.delete_min(ctx.worker(), &mut out, 1);
+                }
+            },
+        );
+        let events = q.take_history();
+        if let Some(v) = check_history(&events) {
+            panic!("seed {seed}: violation at seq {}: {}", v.seq, v.detail);
+        }
+        q.check_invariants();
+    }
+}

@@ -1,0 +1,70 @@
+//! The queues are generic over key and value types; exercise the
+//! combinations the applications rely on plus signed keys and large
+//! payloads.
+
+use bgpq::{BgpqOptions, CpuBgpq};
+use pq_api::{BatchPriorityQueue, Entry};
+
+#[test]
+fn signed_keys_order_correctly() {
+    let q: CpuBgpq<i64, u8> =
+        CpuBgpq::new(BgpqOptions { node_capacity: 4, max_nodes: 64, ..Default::default() });
+    q.insert_batch(&[Entry::new(5i64, 0), Entry::new(-17, 1), Entry::new(0, 2), Entry::new(-3, 3)]);
+    let mut out = Vec::new();
+    q.delete_min_batch(&mut out, 4);
+    assert_eq!(out.iter().map(|e| e.key).collect::<Vec<_>>(), vec![-17, -3, 0, 5]);
+    assert_eq!(out[0].value, 1, "payload must travel with the most negative key");
+}
+
+#[test]
+fn large_copy_payloads() {
+    #[derive(Clone, Copy, Default, PartialEq, Debug)]
+    struct Payload {
+        blob: [u64; 8],
+        tag: u32,
+    }
+    let q: CpuBgpq<u32, Payload> =
+        CpuBgpq::new(BgpqOptions { node_capacity: 8, max_nodes: 128, ..Default::default() });
+    for i in (0..64u32).rev() {
+        q.insert_batch(&[Entry::new(i, Payload { blob: [i as u64; 8], tag: i })]);
+    }
+    let mut out = Vec::new();
+    while q.delete_min_batch(&mut out, 8) > 0 {}
+    for (i, e) in out.iter().enumerate() {
+        assert_eq!(e.key as usize, i);
+        assert_eq!(e.value.tag as usize, i);
+        assert_eq!(e.value.blob[3] as usize, i, "payload corrupted in node moves");
+    }
+}
+
+#[test]
+fn u64_keys_at_extremes() {
+    let q: CpuBgpq<u64, ()> =
+        CpuBgpq::new(BgpqOptions { node_capacity: 4, max_nodes: 32, ..Default::default() });
+    // u64::MAX is the reserved sentinel; MAX-1 is the largest legal key.
+    q.insert_batch(&[Entry::new(u64::MAX - 1, ()), Entry::new(0, ()), Entry::new(1 << 40, ())]);
+    let mut out = Vec::new();
+    q.delete_min_batch(&mut out, 3);
+    assert_eq!(out.iter().map(|e| e.key).collect::<Vec<_>>(), vec![0, 1 << 40, u64::MAX - 1]);
+}
+
+#[test]
+fn baselines_accept_signed_keys_too() {
+    use pq_api::PriorityQueue;
+    let q = baseline_heaps::FineHeapPq::<i32, i32>::new(64);
+    for k in [3i32, -8, 0, -1, 7] {
+        q.insert(k, k * 2);
+    }
+    let mut got = Vec::new();
+    while let Some(e) = q.delete_min() {
+        assert_eq!(e.value, e.key * 2);
+        got.push(e.key);
+    }
+    assert_eq!(got, vec![-8, -1, 0, 3, 7]);
+
+    let sl = skiplist_pq::LindenJonssonPq::<i32, ()>::new(4);
+    for k in [3i32, -8, 0] {
+        sl.insert(k, ());
+    }
+    assert_eq!(sl.delete_min().unwrap().key, -8);
+}
