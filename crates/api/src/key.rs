@@ -23,6 +23,13 @@ pub trait KeyType: Copy + Ord + Send + Sync + core::fmt::Debug + Default + 'stat
 
     /// Lossy conversion used only for diagnostics/statistics.
     fn as_u64(self) -> u64;
+
+    /// Order-preserving encoding: `a <= b` iff
+    /// `a.to_ordered_bits() <= b.to_ordered_bits()`. Lets relaxed
+    /// frontends publish a key through a single `AtomicU64` (the
+    /// sharded router's root-min hint) without locking. For unsigned
+    /// keys this is the identity; signed keys flip the sign bit.
+    fn to_ordered_bits(self) -> u64;
 }
 
 macro_rules! impl_key_unsigned {
@@ -32,6 +39,8 @@ macro_rules! impl_key_unsigned {
             const MIN_KEY: Self = <$t>::MIN;
             #[inline]
             fn as_u64(self) -> u64 { self as u64 }
+            #[inline]
+            fn to_ordered_bits(self) -> u64 { self as u64 }
         }
     )*};
 }
@@ -43,6 +52,12 @@ macro_rules! impl_key_signed {
             const MIN_KEY: Self = <$t>::MIN;
             #[inline]
             fn as_u64(self) -> u64 { self as u64 }
+            #[inline]
+            fn to_ordered_bits(self) -> u64 {
+                // Sign-extend to i64, then flip the sign bit: negative
+                // keys land below positive ones in unsigned order.
+                (self as i64 as u64) ^ (1 << 63)
+            }
         }
     )*};
 }
@@ -76,6 +91,16 @@ mod tests {
             assert!(KeyType::as_u64(k) >= prev);
             prev = KeyType::as_u64(k);
         }
+    }
+
+    #[test]
+    fn ordered_bits_are_monotone() {
+        let us = [0u32, 1, 7, 1 << 20, u32::MAX];
+        assert!(us.windows(2).all(|w| w[0].to_ordered_bits() < w[1].to_ordered_bits()));
+        let is = [i32::MIN, -5, -1, 0, 1, 42, i32::MAX];
+        assert!(is.windows(2).all(|w| w[0].to_ordered_bits() < w[1].to_ordered_bits()));
+        let ls = [i64::MIN, -1, 0, i64::MAX];
+        assert!(ls.windows(2).all(|w| w[0].to_ordered_bits() < w[1].to_ordered_bits()));
     }
 
     #[test]

@@ -70,6 +70,27 @@ impl OpStats {
         }
     }
 
+    /// Fold `other`'s counters into `self` — how a sharded frontend
+    /// aggregates its per-shard counters into one report. `other` is
+    /// left untouched; concurrent increments on either side are safe
+    /// (each counter is summed with one relaxed read-modify-write).
+    pub fn merge(&self, other: &OpStats) {
+        let fold = |dst: &AtomicU64, src: &AtomicU64| {
+            dst.fetch_add(src.load(Ordering::Relaxed), Ordering::Relaxed);
+        };
+        fold(&self.inserts, &other.inserts);
+        fold(&self.delete_mins, &other.delete_mins);
+        fold(&self.items_inserted, &other.items_inserted);
+        fold(&self.items_deleted, &other.items_deleted);
+        fold(&self.inserts_buffered, &other.inserts_buffered);
+        fold(&self.insert_heapifies, &other.insert_heapifies);
+        fold(&self.deletes_from_root, &other.deletes_from_root);
+        fold(&self.delete_heapifies, &other.delete_heapifies);
+        fold(&self.collaborations, &other.collaborations);
+        fold(&self.lock_acquisitions, &other.lock_acquisitions);
+        fold(&self.lock_contended, &other.lock_contended);
+    }
+
     /// Reset all counters to zero (between bench trials).
     pub fn reset(&self) {
         let st = |c: &AtomicU64| c.store(0, Ordering::Relaxed);
@@ -101,6 +122,32 @@ pub struct StatsSnapshot {
     pub collaborations: u64,
     pub lock_acquisitions: u64,
     pub lock_contended: u64,
+}
+
+impl std::ops::Add for StatsSnapshot {
+    type Output = StatsSnapshot;
+
+    fn add(self, rhs: StatsSnapshot) -> StatsSnapshot {
+        StatsSnapshot {
+            inserts: self.inserts + rhs.inserts,
+            delete_mins: self.delete_mins + rhs.delete_mins,
+            items_inserted: self.items_inserted + rhs.items_inserted,
+            items_deleted: self.items_deleted + rhs.items_deleted,
+            inserts_buffered: self.inserts_buffered + rhs.inserts_buffered,
+            insert_heapifies: self.insert_heapifies + rhs.insert_heapifies,
+            deletes_from_root: self.deletes_from_root + rhs.deletes_from_root,
+            delete_heapifies: self.delete_heapifies + rhs.delete_heapifies,
+            collaborations: self.collaborations + rhs.collaborations,
+            lock_acquisitions: self.lock_acquisitions + rhs.lock_acquisitions,
+            lock_contended: self.lock_contended + rhs.lock_contended,
+        }
+    }
+}
+
+impl std::iter::Sum for StatsSnapshot {
+    fn sum<I: Iterator<Item = StatsSnapshot>>(iter: I) -> StatsSnapshot {
+        iter.fold(StatsSnapshot::default(), std::ops::Add::add)
+    }
 }
 
 impl StatsSnapshot {
@@ -151,6 +198,58 @@ mod tests {
         assert!((snap.insert_buffer_hit_rate() - 0.9).abs() < 1e-12);
         assert!((snap.delete_root_hit_rate() - 0.25).abs() < 1e-12);
         assert_eq!(StatsSnapshot::default().insert_buffer_hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn merge_sums_every_counter() {
+        let a = OpStats::new();
+        let b = OpStats::new();
+        // Distinct primes per counter so a missed field can't cancel out.
+        fn fields(s: &OpStats) -> [(&AtomicU64, u64); 11] {
+            [
+                (&s.inserts, 2u64),
+                (&s.delete_mins, 3),
+                (&s.items_inserted, 5),
+                (&s.items_deleted, 7),
+                (&s.inserts_buffered, 11),
+                (&s.insert_heapifies, 13),
+                (&s.deletes_from_root, 17),
+                (&s.delete_heapifies, 19),
+                (&s.collaborations, 23),
+                (&s.lock_acquisitions, 29),
+                (&s.lock_contended, 31),
+            ]
+        }
+        for (c, n) in fields(&a) {
+            OpStats::add(c, n);
+        }
+        for (c, n) in fields(&b) {
+            OpStats::add(c, 10 * n);
+        }
+        a.merge(&b);
+        let merged = a.snapshot();
+        assert_eq!(merged.inserts, 22);
+        assert_eq!(merged.lock_contended, 341);
+        // merge must agree with snapshot addition, and leave `other` alone.
+        let c = OpStats::new();
+        for (cnt, n) in fields(&c) {
+            OpStats::add(cnt, n);
+        }
+        assert_eq!(merged + c.snapshot(), {
+            let d = OpStats::new();
+            d.merge(&a);
+            d.merge(&c);
+            d.snapshot()
+        });
+        assert_eq!(b.snapshot().inserts, 20);
+    }
+
+    #[test]
+    fn snapshot_sum_folds() {
+        let mk = |n: u64| StatsSnapshot { inserts: n, items_deleted: 2 * n, ..Default::default() };
+        let total: StatsSnapshot = [mk(1), mk(2), mk(3)].into_iter().sum();
+        assert_eq!(total.inserts, 6);
+        assert_eq!(total.items_deleted, 12);
     }
 
     #[test]

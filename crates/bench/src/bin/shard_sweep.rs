@@ -1,0 +1,199 @@
+//! Sweep the sharded BGPQ front over shards × threads × sample width.
+//!
+//! For every (S, c, threads) cell the driver preloads a key set, runs a
+//! timed phase of paired insert+delete batches across real threads, and
+//! reports wall-clock throughput next to the *relaxation price*: mean
+//! and max per-delete rank error (theoretical quiescent bound `S - c`),
+//! work-steal and exact-sweep counts, and per-shard load imbalance.
+//! Every trial ends with a full drain so conservation is checked on the
+//! way out.
+//!
+//! Usage: `shard_sweep [--scale small|medium|full] [--batch K]`
+//!
+//! Results land in `bench_results/shard_sweep.csv`; EXPERIMENTS.md
+//! records the scaling shape (throughput non-decreasing in S at high
+//! thread counts, rank error within the c-of-S expectation).
+
+use bench::report::{results_dir, Table};
+use bench::Scale;
+use bgpq_shard::{CpuShardedBgpq, ShardedOptions};
+use pq_api::{BatchPriorityQueue, Entry};
+use std::time::Instant;
+use workloads::{generate_keys, KeyDist};
+
+struct Args {
+    scale: Scale,
+    batch: usize,
+}
+
+fn parse_args() -> Args {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::Medium;
+    let mut batch = 64usize;
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--scale" => {
+                i += 1;
+                scale = argv.get(i).and_then(|s| Scale::parse(s)).unwrap_or_else(|| {
+                    eprintln!("--scale needs small|medium|full");
+                    std::process::exit(2);
+                });
+            }
+            "--batch" => {
+                i += 1;
+                batch = argv.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--batch needs a positive integer");
+                    std::process::exit(2);
+                });
+            }
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    Args { scale, batch }
+}
+
+/// (preload keys, paired-op keys) per scale.
+fn sizes(scale: Scale) -> (usize, usize) {
+    match scale {
+        Scale::Small => (1 << 13, 1 << 14),
+        Scale::Medium => (1 << 16, 1 << 18),
+        Scale::Full => (1 << 19, 1 << 21),
+    }
+}
+
+struct Cell {
+    ops_per_ms: f64,
+    mean_rank_error: f64,
+    max_rank_error: u64,
+    steals: u64,
+    sweeps: u64,
+    imbalance: f64,
+}
+
+/// One timed trial: preload, paired insert+delete phase, drain.
+fn trial(shards: usize, sample: usize, threads: usize, batch: usize, scale: Scale) -> Cell {
+    let (n_init, n_pairs) = sizes(scale);
+    let init = generate_keys(n_init, KeyDist::Random, 11);
+    let pairs = generate_keys(n_pairs, KeyDist::Random, 13);
+    let q: CpuShardedBgpq<u32, ()> = CpuShardedBgpq::new(ShardedOptions::with_capacity_for(
+        shards,
+        sample,
+        batch,
+        n_init + n_pairs,
+    ));
+
+    // Preload from the measurement threads' chunks so sticky affinity
+    // spreads the initial load the same way the timed phase will.
+    let chunk = init.len().div_ceil(threads.max(1)).max(1);
+    std::thread::scope(|s| {
+        for part in init.chunks(chunk) {
+            s.spawn(|| {
+                let mut items: Vec<Entry<u32, ()>> = Vec::with_capacity(batch);
+                for b in part.chunks(batch) {
+                    items.clear();
+                    items.extend(b.iter().map(|&k| Entry::new(k, ())));
+                    q.insert_batch(&items);
+                }
+            });
+        }
+    });
+    assert_eq!(q.len(), init.len(), "preload lost keys");
+    q.inner().reset_quality();
+
+    let chunk = pairs.len().div_ceil(threads.max(1)).max(1);
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        for part in pairs.chunks(chunk) {
+            s.spawn(|| {
+                let mut items: Vec<Entry<u32, ()>> = Vec::with_capacity(batch);
+                let mut out: Vec<Entry<u32, ()>> = Vec::with_capacity(batch);
+                for b in part.chunks(batch) {
+                    items.clear();
+                    items.extend(b.iter().map(|&k| Entry::new(k, ())));
+                    q.insert_batch(&items);
+                    out.clear();
+                    q.delete_min_batch(&mut out, b.len());
+                }
+            });
+        }
+    });
+    let elapsed_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let quality = q.inner().quality();
+    let imbalance = q.inner().load_imbalance();
+
+    // Exactness on the way out: the sweep fallback must drain every
+    // shard and end exactly empty.
+    assert_eq!(q.len(), init.len(), "paired phase must preserve size");
+    let mut out: Vec<Entry<u32, ()>> = Vec::with_capacity(batch);
+    let mut drained = 0usize;
+    loop {
+        out.clear();
+        let got = q.delete_min_batch(&mut out, batch);
+        if got == 0 {
+            break;
+        }
+        drained += got;
+    }
+    assert_eq!(drained, init.len(), "drain must recover the preload exactly");
+    assert!(q.is_empty());
+
+    Cell {
+        ops_per_ms: 2.0 * pairs.len() as f64 / elapsed_ms.max(1e-9),
+        mean_rank_error: quality.mean_rank_error(),
+        max_rank_error: quality.rank_error_max,
+        steals: quality.steals,
+        sweeps: quality.full_sweeps,
+        imbalance,
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let mut table = Table::new(
+        "shard_sweep",
+        &[
+            "S",
+            "c",
+            "threads",
+            "kops/s",
+            "rank_err",
+            "rank_max",
+            "bound",
+            "steals",
+            "sweeps",
+            "imbalance",
+        ],
+    );
+    for &shards in &[1usize, 2, 4, 8] {
+        for &sample in &[1usize, 2, 4] {
+            if sample > shards {
+                continue;
+            }
+            for &threads in &[1usize, 2, 4, 8] {
+                let cell = trial(shards, sample, threads, args.batch, args.scale);
+                table.row(vec![
+                    shards.to_string(),
+                    sample.to_string(),
+                    threads.to_string(),
+                    format!("{:.0}", cell.ops_per_ms),
+                    format!("{:.3}", cell.mean_rank_error),
+                    cell.max_rank_error.to_string(),
+                    (shards - sample).to_string(),
+                    cell.steals.to_string(),
+                    cell.sweeps.to_string(),
+                    format!("{:.2}", cell.imbalance),
+                ]);
+            }
+        }
+    }
+    table.print();
+    match table.write_csv(&results_dir()) {
+        Ok(p) => println!("\nwrote {}", p.display()),
+        Err(e) => eprintln!("csv write failed: {e}"),
+    }
+}

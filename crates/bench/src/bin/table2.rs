@@ -70,8 +70,8 @@ fn insdel(a: &Args) {
     let mut t = Table::new(
         "table2_insdel",
         &[
-            "dist", "keys", "TBB", "Spray", "CBPQ", "LJSL", "Fine", "P-Sync", "BGPQ", "B/T", "B/S",
-            "B/C", "B/L", "B/P",
+            "dist", "keys", "TBB", "Spray", "CBPQ", "LJSL", "Fine", "Shard", "P-Sync", "BGPQ",
+            "B/T", "B/S", "B/C", "B/L", "B/P",
         ],
     );
     for n in a.scale.insdel_sizes() {
@@ -88,6 +88,7 @@ fn insdel(a: &Args) {
             let cbpq = cell(QueueKind::Cbpq);
             let ljsl = cell(QueueKind::Ljsl);
             let fine = cell(QueueKind::FineHeap);
+            let shard = cell(QueueKind::BgpqShard);
             let psync = psync_sim_insdel(a.gpu, a.k, &keys).total_ms;
             let bgpq = bgpq_sim_insdel(a.gpu, a.k, &keys).total_ms;
             t.row(vec![
@@ -98,6 +99,7 @@ fn insdel(a: &Args) {
                 ms(cbpq),
                 ms(ljsl),
                 ms(fine),
+                ms(shard),
                 ms(psync),
                 ms(bgpq),
                 speedup(tbb, bgpq),

@@ -9,6 +9,7 @@
 
 use baseline_heaps::{CoarseLockPq, FineHeapPq};
 use bgpq::{BgpqOptions, CpuBgpq};
+use bgpq_shard::{CpuShardedBgpq, ShardedOptions};
 use cbpq::CbpqPq;
 use pq_api::{BatchPriorityQueue, Entry, ItemwiseBatch, KeyType, ValueType};
 use skiplist_pq::{LindenJonssonPq, LotanShavitPq, SprayListPq};
@@ -32,16 +33,20 @@ pub enum QueueKind {
     Stsl,
     /// BGPQ running on the CPU platform.
     BgpqCpu,
+    /// Sharded BGPQ front (4 shards, c = 2 sampling) on the CPU
+    /// platform — the relaxed scale-out design from `bgpq-shard`.
+    BgpqShard,
 }
 
 impl QueueKind {
-    pub const TABLE2: [QueueKind; 6] = [
+    pub const TABLE2: [QueueKind; 7] = [
         QueueKind::Tbb,
         QueueKind::Spray,
         QueueKind::Cbpq,
         QueueKind::Ljsl,
         QueueKind::FineHeap,
         QueueKind::BgpqCpu,
+        QueueKind::BgpqShard,
     ];
 
     /// Queues the paper runs the application benchmarks on (CBPQ is
@@ -64,6 +69,7 @@ impl QueueKind {
             QueueKind::Spray => "SprayList",
             QueueKind::Cbpq => "CBPQ",
             QueueKind::BgpqCpu => "BGPQ-cpu",
+            QueueKind::BgpqShard => "BGPQ-shard",
         }
     }
 }
@@ -87,6 +93,12 @@ pub fn build_queue<K: KeyType, V: ValueType>(
         QueueKind::Spray => Box::new(ItemwiseBatch::new(SprayListPq::new(threads_hint, 64), batch)),
         QueueKind::Cbpq => Box::new(ItemwiseBatch::new(CbpqPq::new(928), batch)),
         QueueKind::BgpqCpu => Box::new(CpuBgpq::new(BgpqOptions::with_capacity_for(
+            batch,
+            capacity_hint.max(batch * 4),
+        ))),
+        QueueKind::BgpqShard => Box::new(CpuShardedBgpq::new(ShardedOptions::with_capacity_for(
+            4,
+            2,
             batch,
             capacity_hint.max(batch * 4),
         ))),

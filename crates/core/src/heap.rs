@@ -39,6 +39,12 @@ pub struct Bgpq<K, V, P: Platform> {
     seq: AtomicU64,
     /// Approximate item count (exact at quiescence).
     items: AtomicI64,
+    /// Published lower-priority-bound of the queue: the root cache's
+    /// smallest key as `KeyType::to_ordered_bits`, refreshed at every
+    /// root-lock release; `u64::MAX` when no cheap bound exists (queue
+    /// empty, or root and buffer both drained mid-heapify). Lets a
+    /// sharded router compare shard minima without taking root locks.
+    root_min_bits: AtomicU64,
     stats: OpStats,
     history: Option<HistoryRecorder<K>>,
 }
@@ -61,6 +67,7 @@ impl<K: KeyType, V: ValueType, P: Platform> Bgpq<K, V, P> {
             opts,
             seq: AtomicU64::new(0),
             items: AtomicI64::new(0),
+            root_min_bits: AtomicU64::new(u64::MAX),
             stats: OpStats::new(),
             history: None,
         }
@@ -105,6 +112,18 @@ impl<K: KeyType, V: ValueType, P: Platform> Bgpq<K, V, P> {
 
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Cheap root-min peek: the smallest key in the root cache as of
+    /// the last root-lock release, in [`KeyType::to_ordered_bits`]
+    /// order. `u64::MAX` means "no cheap bound" — the queue is empty or
+    /// its root cache is cold. Advisory: it may lag in-flight
+    /// operations, but at quiescence it is exactly the true minimum
+    /// whenever the root holds keys and an over-estimate (never an
+    /// under-estimate) otherwise, so sampling routers comparing shards
+    /// at rest never under-rank one.
+    pub fn min_hint_bits(&self) -> u64 {
+        self.root_min_bits.load(Ordering::Relaxed)
     }
 
     /// Total key capacity of the heap body.
@@ -190,11 +209,31 @@ impl<K: KeyType, V: ValueType, P: Platform> Bgpq<K, V, P> {
         *seq_out = Some(s);
     }
 
+    /// Refresh [`Self::min_hint_bits`]. Caller holds the root lock (the
+    /// buffer shares it); must run before every root-lock release so
+    /// the published value reflects the state being made visible.
+    fn publish_root_min(&self) {
+        // SAFETY: root lock held; reads cover only the root/buffer
+        // region that lock protects.
+        let bits = unsafe {
+            let m = self.storage.meta_mut();
+            if m.root_len > 0 {
+                self.storage.node_ref(ROOT)[0].key.to_ordered_bits()
+            } else if m.buf_len > 0 {
+                self.storage.node_ref(PBUFFER)[0].key.to_ordered_bits()
+            } else {
+                u64::MAX
+            }
+        };
+        self.root_min_bits.store(bits, Ordering::Relaxed);
+    }
+
     /// Release a path lock; if it is the root's, draw the linearization
     /// point first.
     fn unlock_path(&self, w: &mut P::Worker, lock: usize, seq_out: &mut Option<u64>) {
         if lock == ROOT {
             self.linearize(seq_out);
+            self.publish_root_min();
         }
         self.platform.unlock(w, lock);
     }
@@ -289,6 +328,7 @@ impl<K: KeyType, V: ValueType, P: Platform> Bgpq<K, V, P> {
             self.storage.set_state(ROOT, NodeState::Avail);
             OpStats::bump(&self.stats.inserts_buffered);
             self.linearize(seq_out);
+            self.publish_root_min();
             self.platform.unlock(w, ROOT);
             return;
         }
@@ -334,6 +374,7 @@ impl<K: KeyType, V: ValueType, P: Platform> Bgpq<K, V, P> {
             self.charge(w, PrimitiveCost::GlobalWrite { n: buf_len + size });
             OpStats::bump(&self.stats.inserts_buffered);
             self.linearize(seq_out);
+            self.publish_root_min();
             self.platform.unlock(w, ROOT);
             return;
         }
@@ -364,6 +405,7 @@ impl<K: KeyType, V: ValueType, P: Platform> Bgpq<K, V, P> {
                 // the item counter is adjusted so `len()` stays exact.
                 self.items.fetch_sub(k as i64, Ordering::Relaxed);
                 self.linearize(seq_out);
+                self.publish_root_min();
                 self.platform.unlock(w, ROOT);
                 panic!(
                     "BGPQ out of node slots (max_nodes = {}); size the queue larger",
@@ -716,6 +758,7 @@ impl<K: KeyType, V: ValueType, P: Platform> Bgpq<K, V, P> {
             self.items.fetch_sub(got.len() as i64, Ordering::Relaxed);
             OpStats::add(&self.stats.items_deleted, got.len() as u64);
             self.linearize(seq_out);
+            self.publish_root_min();
         }
         self.platform.unlock(w, lock);
     }
@@ -754,11 +797,19 @@ impl<K: KeyType, V: ValueType, P: Platform> Bgpq<K, V, P> {
             if m.heap_size == 0 {
                 assert_eq!(m.root_len, 0, "empty heap with keys in root");
                 assert_eq!(m.buf_len, 0, "empty heap with keys in buffer");
+                assert_eq!(self.min_hint_bits(), u64::MAX, "empty heap publishing a min hint");
                 return 0;
             }
             assert_eq!(self.storage.state(ROOT), NodeState::Avail, "root not AVAIL");
             let root = self.storage.node_ref(ROOT);
             assert!(root[..m.root_len].windows(2).all(|p| p[0] <= p[1]), "root not sorted");
+            if m.root_len > 0 {
+                assert_eq!(
+                    self.min_hint_bits(),
+                    root[0].key.to_ordered_bits(),
+                    "stale root-min hint at quiescence"
+                );
+            }
             total += m.root_len;
 
             let pb = self.storage.node_ref(PBUFFER);

@@ -1,0 +1,253 @@
+//! Host-side front: the sharded router on real threads.
+//!
+//! Sticky affinity comes from a process-wide ticket: the first sharded
+//! operation a thread performs assigns it a small stable worker id, and
+//! inserts from that thread always route to shard `id % S`. Consecutive
+//! batches from one producer therefore land in the same shard, keeping
+//! its partial buffer and root cache hot. Delete-side sampling uses a
+//! per-thread xorshift state seeded from the same id, so runs with a
+//! fixed thread↔work assignment are reproducible.
+
+use crate::router::{ShardedBgpq, ShardedOptions};
+use bgpq_runtime::{CpuPlatform, CpuWorker};
+use pq_api::{BatchPriorityQueue, Entry, KeyType, PriorityQueue, QueueFactory, ValueType};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+static WORKER_TICKET: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    static WORKER_ID: Cell<usize> = const { Cell::new(usize::MAX) };
+    static RNG_STATE: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Stable, dense id of the calling thread (0, 1, 2, … in first-use
+/// order, shared by every sharded queue in the process).
+pub fn worker_id() -> usize {
+    WORKER_ID.with(|c| {
+        let v = c.get();
+        if v != usize::MAX {
+            return v;
+        }
+        let id = WORKER_TICKET.fetch_add(1, Ordering::Relaxed);
+        c.set(id);
+        id
+    })
+}
+
+/// Run `f` with this thread's sampling-RNG state (lazily seeded from
+/// the worker id via splitmix64).
+fn with_thread_rng<R>(f: impl FnOnce(&mut u64) -> R) -> R {
+    RNG_STATE.with(|c| {
+        let mut s = c.get();
+        if s == 0 {
+            let mut z = (worker_id() as u64).wrapping_add(0x9E37_79B9_7F4A_7C15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            s = (z ^ (z >> 31)) | 1;
+        }
+        let r = f(&mut s);
+        c.set(s);
+        r
+    })
+}
+
+/// [`ShardedBgpq`] on [`CpuPlatform`], with per-thread sticky affinity.
+/// Implements both [`BatchPriorityQueue`] (native shape) and
+/// [`PriorityQueue`] (item-at-a-time convenience).
+pub struct CpuShardedBgpq<K: KeyType, V: ValueType> {
+    inner: ShardedBgpq<K, V, CpuPlatform>,
+}
+
+impl<K: KeyType, V: ValueType> CpuShardedBgpq<K, V> {
+    pub fn new(opts: ShardedOptions) -> Self {
+        opts.validate();
+        let platforms = (0..opts.shards).map(|_| CpuPlatform::new(opts.queue.max_nodes + 1));
+        Self { inner: ShardedBgpq::with_platforms(platforms.collect(), opts) }
+    }
+
+    /// The underlying generic router (quality stats, per-shard access).
+    pub fn inner(&self) -> &ShardedBgpq<K, V, CpuPlatform> {
+        &self.inner
+    }
+
+    /// Total items across shards (inherent, so `q.len()` stays
+    /// unambiguous even though both queue traits also define `len`).
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+}
+
+impl<K: KeyType, V: ValueType> BatchPriorityQueue<K, V> for CpuShardedBgpq<K, V> {
+    fn batch_capacity(&self) -> usize {
+        self.inner.node_capacity()
+    }
+
+    fn insert_batch(&self, items: &[Entry<K, V>]) {
+        let mut w = CpuWorker;
+        self.inner.insert(&mut w, worker_id(), items);
+    }
+
+    fn delete_min_batch(&self, out: &mut Vec<Entry<K, V>>, count: usize) -> usize {
+        let mut w = CpuWorker;
+        with_thread_rng(|rng| self.inner.delete_min(&mut w, rng, out, count))
+    }
+
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+}
+
+impl<K: KeyType, V: ValueType> PriorityQueue<K, V> for CpuShardedBgpq<K, V> {
+    fn insert(&self, key: K, value: V) {
+        BatchPriorityQueue::insert_batch(self, &[Entry::new(key, value)]);
+    }
+
+    fn delete_min(&self) -> Option<Entry<K, V>> {
+        let mut out = Vec::with_capacity(1);
+        if BatchPriorityQueue::delete_min_batch(self, &mut out, 1) == 1 {
+            out.pop()
+        } else {
+            None
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+}
+
+/// Factory for the bench harness and the application drivers.
+pub struct ShardedBgpqFactory {
+    /// Number of shards `S`.
+    pub shards: usize,
+    /// Shards sampled per delete `c`.
+    pub sample: usize,
+    /// Per-shard node capacity `k`.
+    pub node_capacity: usize,
+    name: String,
+}
+
+impl ShardedBgpqFactory {
+    pub fn new(shards: usize, sample: usize, node_capacity: usize) -> Self {
+        Self { shards, sample, node_capacity, name: format!("BGPQ-shard/S{shards}c{sample}") }
+    }
+}
+
+impl Default for ShardedBgpqFactory {
+    fn default() -> Self {
+        Self::new(4, 2, 1024)
+    }
+}
+
+impl<K: KeyType, V: ValueType> QueueFactory<K, V> for ShardedBgpqFactory {
+    type Queue = CpuShardedBgpq<K, V>;
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn build(&self, capacity_hint: usize) -> CpuShardedBgpq<K, V> {
+        CpuShardedBgpq::new(ShardedOptions::with_capacity_for(
+            self.shards,
+            self.sample,
+            self.node_capacity,
+            capacity_hint.max(1),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgpq::BgpqOptions;
+
+    fn small(shards: usize, sample: usize) -> CpuShardedBgpq<u32, u32> {
+        CpuShardedBgpq::new(ShardedOptions::new(
+            shards,
+            sample,
+            BgpqOptions { node_capacity: 8, max_nodes: 512, ..Default::default() },
+        ))
+    }
+
+    #[test]
+    fn batch_roundtrip_conserves_multiset() {
+        let q = small(4, 2);
+        let keys: Vec<u32> = (0..200).map(|i| (i * 37) % 1000).collect();
+        for chunk in keys.chunks(8) {
+            let items: Vec<Entry<u32, u32>> = chunk.iter().map(|&k| Entry::new(k, k)).collect();
+            q.insert_batch(&items);
+        }
+        assert_eq!(q.len(), keys.len());
+        let mut out = Vec::new();
+        while q.delete_min_batch(&mut out, 8) > 0 {}
+        assert!(q.is_empty());
+        let mut got: Vec<u32> = out.iter().map(|e| e.key).collect();
+        got.sort_unstable();
+        let mut expect = keys.clone();
+        expect.sort_unstable();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn itemwise_trait_works() {
+        let q = small(2, 1);
+        PriorityQueue::insert(&q, 30u32, 3u32);
+        PriorityQueue::insert(&q, 10, 1);
+        PriorityQueue::insert(&q, 20, 2);
+        // Single-threaded sticky affinity: everything sits in one
+        // shard, so even sampled deletes are strict here.
+        let e = PriorityQueue::delete_min(&q).expect("non-empty");
+        assert_eq!((e.key, e.value), (10, 1));
+        assert_eq!(PriorityQueue::len(&q), 2);
+        while PriorityQueue::delete_min(&q).is_some() {}
+        assert!(PriorityQueue::is_empty(&q));
+    }
+
+    #[test]
+    fn concurrent_producers_spread_load() {
+        let q = std::sync::Arc::new(small(4, 2));
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let q = q.clone();
+                s.spawn(move || {
+                    let items: Vec<Entry<u32, u32>> =
+                        (0..64u32).map(|k| Entry::new(k, 0)).collect();
+                    for chunk in items.chunks(8) {
+                        q.insert_batch(chunk);
+                    }
+                });
+            }
+        });
+        assert_eq!(q.len(), 4 * 64);
+        // Each thread has its own sticky shard; with 4 threads at most
+        // 4 shards are touched and every item is somewhere.
+        let touched = (0..4).filter(|&i| !q.inner().shard(i).is_empty()).count();
+        assert!(touched >= 1);
+        assert_eq!(q.inner().check_invariants(), 4 * 64);
+    }
+
+    #[test]
+    fn factory_builds_working_queue() {
+        let f = ShardedBgpqFactory::new(3, 2, 16);
+        assert_eq!(<ShardedBgpqFactory as QueueFactory<u32, ()>>::name(&f), "BGPQ-shard/S3c2");
+        let q: CpuShardedBgpq<u32, ()> = f.build(10_000);
+        assert_eq!(q.inner().num_shards(), 3);
+        q.insert_batch(&[Entry::new(42u32, ())]);
+        let mut out = Vec::new();
+        assert_eq!(q.delete_min_batch(&mut out, 1), 1);
+        assert_eq!(out[0].key, 42);
+    }
+
+    #[test]
+    fn worker_ids_are_stable_and_distinct() {
+        let a = worker_id();
+        assert_eq!(a, worker_id());
+        let b = std::thread::spawn(worker_id).join().unwrap();
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,133 @@
+//! Relaxation observability: how far from the true minimum do relaxed
+//! deletes land, and how evenly does sticky insert affinity spread load?
+//!
+//! MultiQueue-style sampling trades strict ordering for scalability; the
+//! literature quantifies the trade with *rank error* — how many smaller
+//! keys were skipped by a delete-min. We measure the shard-level
+//! analogue: at the moment a delete commits to a shard, how many *other*
+//! shards advertised (via their root-min hints) a smaller minimum than
+//! the key actually returned. With `c`-of-`S` sampling and exact hints
+//! this is at most `S - c` at quiescence: the best sampled shard is
+//! taken, so only unsampled shards can hide a smaller key.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Atomic counters recorded by the router on every delete. All
+/// increments are `Relaxed`: statistics, not synchronization.
+#[derive(Debug, Default)]
+pub struct QualityStats {
+    /// Deletes that returned at least one entry.
+    deletes: AtomicU64,
+    /// Sum over deletes of the per-delete rank error (see module docs).
+    rank_error_sum: AtomicU64,
+    /// Largest single-delete rank error observed.
+    rank_error_max: AtomicU64,
+    /// Deletes served by a shard other than the best-hinted sampled one
+    /// (the first choice raced empty and work was stolen).
+    steals: AtomicU64,
+    /// Exact fallback sweeps over every shard (all sampled shards were
+    /// empty at the attempt).
+    full_sweeps: AtomicU64,
+}
+
+impl QualityStats {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a successful delete: `hints` is the per-shard root-min
+    /// snapshot captured before routing, `taken` the shard that served
+    /// the delete, `first_bits` the ordered-bits encoding of the first
+    /// (smallest) key returned, `stolen` whether `taken` was not the
+    /// first choice.
+    pub fn record_delete(&self, hints: &[u64], taken: usize, first_bits: u64, stolen: bool) {
+        let err =
+            hints.iter().enumerate().filter(|&(i, &h)| i != taken && h < first_bits).count() as u64;
+        self.deletes.fetch_add(1, Ordering::Relaxed);
+        self.rank_error_sum.fetch_add(err, Ordering::Relaxed);
+        self.rank_error_max.fetch_max(err, Ordering::Relaxed);
+        if stolen {
+            self.steals.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Record one exact full-sweep fallback.
+    pub fn record_full_sweep(&self) {
+        self.full_sweeps.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn snapshot(&self) -> QualitySnapshot {
+        QualitySnapshot {
+            deletes: self.deletes.load(Ordering::Relaxed),
+            rank_error_sum: self.rank_error_sum.load(Ordering::Relaxed),
+            rank_error_max: self.rank_error_max.load(Ordering::Relaxed),
+            steals: self.steals.load(Ordering::Relaxed),
+            full_sweeps: self.full_sweeps.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Reset all counters (between bench trials).
+    pub fn reset(&self) {
+        self.deletes.store(0, Ordering::Relaxed);
+        self.rank_error_sum.store(0, Ordering::Relaxed);
+        self.rank_error_max.store(0, Ordering::Relaxed);
+        self.steals.store(0, Ordering::Relaxed);
+        self.full_sweeps.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Plain-data snapshot of [`QualityStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct QualitySnapshot {
+    pub deletes: u64,
+    pub rank_error_sum: u64,
+    pub rank_error_max: u64,
+    pub steals: u64,
+    pub full_sweeps: u64,
+}
+
+impl QualitySnapshot {
+    /// Average rank error per successful delete.
+    pub fn mean_rank_error(&self) -> f64 {
+        if self.deletes == 0 {
+            return 0.0;
+        }
+        self.rank_error_sum as f64 / self.deletes as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rank_error_counts_strictly_smaller_other_shards() {
+        let q = QualityStats::new();
+        // Shard 2 returned key-bits 10; shards 0 (5) and 3 (9) were
+        // smaller, shard 1 (10) ties and does not count, shard 2 is
+        // excluded even though its (stale) hint is below.
+        q.record_delete(&[5, 10, 7, 9], 2, 10, false);
+        let s = q.snapshot();
+        assert_eq!(s.deletes, 1);
+        assert_eq!(s.rank_error_sum, 2);
+        assert_eq!(s.rank_error_max, 2);
+        assert_eq!(s.steals, 0);
+    }
+
+    #[test]
+    fn steals_and_sweeps_accumulate_and_reset() {
+        let q = QualityStats::new();
+        q.record_delete(&[1, 2], 1, 2, true);
+        q.record_delete(&[u64::MAX, 2], 1, 2, false);
+        q.record_full_sweep();
+        let s = q.snapshot();
+        assert_eq!(s.deletes, 2);
+        assert_eq!(s.steals, 1);
+        assert_eq!(s.full_sweeps, 1);
+        assert_eq!(s.rank_error_sum, 1, "only shard 0's hint 1 < 2 in the first delete");
+        assert!((s.mean_rank_error() - 0.5).abs() < 1e-12);
+        q.reset();
+        assert_eq!(q.snapshot(), QualitySnapshot::default());
+        assert_eq!(QualitySnapshot::default().mean_rank_error(), 0.0);
+    }
+}

@@ -1,0 +1,348 @@
+//! The sharded router: `S` independent BGPQ instances behind a
+//! MultiQueue-style front.
+//!
+//! * **Inserts** route whole batches to one shard chosen by the
+//!   caller's sticky affinity, so each shard still sees the sorted,
+//!   batch-at-a-time traffic its partial buffer and root cache are
+//!   built for (§3.2/§4.3 of the paper apply per shard unchanged).
+//! * **Deletes** sample `c` of `S` shards, compare their cached
+//!   root-min hints ([`Bgpq::min_hint_bits`]) without taking any locks,
+//!   and take a batch from the best. If the best raced empty the
+//!   remaining sampled shards are tried in hint order (work stealing);
+//!   if all sampled shards miss, an exact sweep attempts a real delete
+//!   on *every* shard before reporting emptiness — so quiescent
+//!   emptiness and full drains remain precise even though ordering
+//!   between shards is relaxed.
+//!
+//! The router is generic over [`Platform`]: the same code runs on
+//! `CpuPlatform` (real threads; see [`crate::cpu`]) and on the gpu-sim
+//! scheduler, where each shard models a queue private to one GPU / SM
+//! partition.
+
+use crate::quality::{QualitySnapshot, QualityStats};
+use bgpq::{Bgpq, BgpqOptions};
+use bgpq_runtime::Platform;
+use pq_api::{Entry, KeyType, OpStats, ValueType};
+
+/// Configuration of a [`ShardedBgpq`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardedOptions {
+    /// Number of independent BGPQ shards `S`.
+    pub shards: usize,
+    /// Shards sampled per delete `c` (clamped to `1..=S`). `c = S`
+    /// degenerates to always taking the globally best hint.
+    pub sample: usize,
+    /// Per-shard heap configuration. Every shard is built with the same
+    /// options; note the heap preallocates `max_nodes * node_capacity`
+    /// entries per shard, so total memory scales with `S`.
+    pub queue: BgpqOptions,
+}
+
+impl ShardedOptions {
+    pub fn new(shards: usize, sample: usize, queue: BgpqOptions) -> Self {
+        Self { shards, sample, queue }
+    }
+
+    /// Options where *each shard* can hold `items` keys with node
+    /// capacity `k`. Sizing every shard for the full workload is
+    /// deliberate: sticky affinity means a single producer thread sends
+    /// everything to one shard, and the heap's backing array does not
+    /// grow.
+    pub fn with_capacity_for(shards: usize, sample: usize, k: usize, items: usize) -> Self {
+        Self { shards, sample, queue: BgpqOptions::with_capacity_for(k, items) }
+    }
+
+    pub fn validate(&self) {
+        assert!(self.shards >= 1, "need at least one shard");
+        assert!(self.sample >= 1, "must sample at least one shard");
+        self.queue.validate();
+    }
+}
+
+impl Default for ShardedOptions {
+    fn default() -> Self {
+        Self { shards: 4, sample: 2, queue: BgpqOptions::default() }
+    }
+}
+
+/// xorshift64*: tiny, allocation-free PRNG for shard sampling. The
+/// caller owns the state (one word per worker), keeping the router
+/// itself stateless across operations.
+#[inline]
+fn next_u64(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x.wrapping_mul(0x2545F4914F6CDD1D)
+}
+
+/// `S` BGPQ instances behind a relaxed, sampled router.
+pub struct ShardedBgpq<K: KeyType, V: ValueType, P: Platform> {
+    shards: Box<[Bgpq<K, V, P>]>,
+    sample: usize,
+    quality: QualityStats,
+}
+
+impl<K: KeyType, V: ValueType, P: Platform> ShardedBgpq<K, V, P> {
+    /// Build from one platform instance per shard (each shard owns its
+    /// lock table). `platforms.len()` must equal `opts.shards`, and
+    /// each platform needs at least `opts.queue.max_nodes + 1` locks.
+    pub fn with_platforms(platforms: Vec<P>, opts: ShardedOptions) -> Self {
+        opts.validate();
+        assert_eq!(platforms.len(), opts.shards, "one platform per shard");
+        let shards: Vec<Bgpq<K, V, P>> =
+            platforms.into_iter().map(|p| Bgpq::with_platform(p, opts.queue)).collect();
+        Self {
+            shards: shards.into_boxed_slice(),
+            sample: opts.sample.clamp(1, opts.shards),
+            quality: QualityStats::new(),
+        }
+    }
+
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Shards sampled per delete (after clamping to `1..=S`).
+    pub fn sample(&self) -> usize {
+        self.sample
+    }
+
+    /// Direct access to one shard (tests, invariant checks).
+    pub fn shard(&self, i: usize) -> &Bgpq<K, V, P> {
+        &self.shards[i]
+    }
+
+    /// Batch capacity `k` (identical across shards).
+    pub fn node_capacity(&self) -> usize {
+        self.shards[0].node_capacity()
+    }
+
+    /// Which shard an affinity token routes to.
+    #[inline]
+    pub fn shard_for(&self, affinity: usize) -> usize {
+        affinity % self.shards.len()
+    }
+
+    /// Total items across shards. Exact at quiescence.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.len()).sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Relaxation counters recorded by the delete path.
+    pub fn quality(&self) -> QualitySnapshot {
+        self.quality.snapshot()
+    }
+
+    pub fn reset_quality(&self) {
+        self.quality.reset();
+    }
+
+    /// All shards' operation counters folded into one.
+    pub fn merged_stats(&self) -> OpStats {
+        let total = OpStats::new();
+        for s in self.shards.iter() {
+            total.merge(s.stats());
+        }
+        total
+    }
+
+    /// Ratio of the most-loaded shard's inserted-item count to the
+    /// mean (1.0 = perfectly balanced; meaningful after inserts ran).
+    pub fn load_imbalance(&self) -> f64 {
+        let loads: Vec<u64> =
+            self.shards.iter().map(|s| s.stats().snapshot().items_inserted).collect();
+        let total: u64 = loads.iter().sum();
+        if total == 0 {
+            return 1.0;
+        }
+        let mean = total as f64 / loads.len() as f64;
+        *loads.iter().max().unwrap() as f64 / mean
+    }
+
+    /// Insert a sorted-or-not batch into the shard selected by
+    /// `affinity` (callers keep this sticky per worker so consecutive
+    /// batches hit the same shard's partial buffer).
+    pub fn insert(&self, w: &mut P::Worker, affinity: usize, items: &[Entry<K, V>]) {
+        self.shards[self.shard_for(affinity)].insert(w, items);
+    }
+
+    /// Relaxed delete-min: sample `c` shards through `rng`, take up to
+    /// `count` entries from the best-hinted one, steal from the other
+    /// sampled shards on a miss, and finish with an exact sweep of all
+    /// shards before returning 0. Appended entries are ascending (they
+    /// come from a single shard's delete).
+    pub fn delete_min(
+        &self,
+        w: &mut P::Worker,
+        rng: &mut u64,
+        out: &mut Vec<Entry<K, V>>,
+        count: usize,
+    ) -> usize {
+        let s = self.shards.len();
+        let start = out.len();
+        if s == 1 {
+            let got = self.shards[0].delete_min(w, out, count);
+            if got > 0 {
+                self.quality.record_delete(&[], 0, out[start].key.to_ordered_bits(), false);
+            }
+            return got;
+        }
+
+        // Lock-free routing snapshot: every shard's published root-min.
+        let hints: Vec<u64> = self.shards.iter().map(|q| q.min_hint_bits()).collect();
+
+        let mut picks: Vec<usize> = Vec::with_capacity(self.sample);
+        if self.sample >= s {
+            picks.extend(0..s);
+        } else {
+            while picks.len() < self.sample {
+                let i = (next_u64(rng) % s as u64) as usize;
+                if !picks.contains(&i) {
+                    picks.push(i);
+                }
+            }
+        }
+        picks.sort_unstable_by_key(|&i| hints[i]);
+
+        for (attempt, &i) in picks.iter().enumerate() {
+            let got = self.shards[i].delete_min(w, out, count);
+            if got > 0 {
+                self.quality.record_delete(
+                    &hints,
+                    i,
+                    out[start].key.to_ordered_bits(),
+                    attempt > 0,
+                );
+                return got;
+            }
+        }
+
+        // Exact fallback: a hint of `u64::MAX` means "empty or never
+        // published", so sampled misses do not prove emptiness. Attempt
+        // a real delete on every shard; only a full sweep of misses
+        // reports 0, which at quiescence is precise.
+        self.quality.record_full_sweep();
+        for i in 0..s {
+            let got = self.shards[i].delete_min(w, out, count);
+            if got > 0 {
+                self.quality.record_delete(&hints, i, out[start].key.to_ordered_bits(), true);
+                return got;
+            }
+        }
+        0
+    }
+
+    /// Remove every item (shard by shard; the concatenation is sorted
+    /// per shard, not globally). Returns the number drained.
+    pub fn drain(&self, w: &mut P::Worker, out: &mut Vec<Entry<K, V>>) -> usize {
+        self.shards.iter().map(|s| s.drain(w, out)).sum()
+    }
+
+    /// Discard every item. Returns the number discarded.
+    pub fn clear(&self, w: &mut P::Worker) -> usize {
+        self.shards.iter().map(|s| s.clear(w)).sum()
+    }
+
+    /// Check every shard's heap invariants (quiescent callers only).
+    /// Returns the total item count.
+    pub fn check_invariants(&self) -> usize {
+        self.shards.iter().map(|s| s.check_invariants()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgpq_runtime::{CpuPlatform, CpuWorker};
+
+    fn sharded(s: usize, c: usize, k: usize) -> ShardedBgpq<u32, u32, CpuPlatform> {
+        let queue = BgpqOptions { node_capacity: k, max_nodes: 256, ..Default::default() };
+        let platforms = (0..s).map(|_| CpuPlatform::new(queue.max_nodes + 1)).collect();
+        ShardedBgpq::with_platforms(platforms, ShardedOptions::new(s, c, queue))
+    }
+
+    #[test]
+    fn routes_inserts_by_affinity() {
+        let q = sharded(4, 2, 8);
+        let mut w = CpuWorker;
+        for a in 0..8usize {
+            q.insert(&mut w, a, &[Entry::new(a as u32, 0)]);
+        }
+        // affinity a and a+4 land on the same shard.
+        for i in 0..4 {
+            assert_eq!(q.shard(i).len(), 2, "shard {i}");
+        }
+        assert_eq!(q.len(), 8);
+    }
+
+    #[test]
+    fn drains_exactly_across_shards() {
+        let q = sharded(3, 1, 4);
+        let mut w = CpuWorker;
+        let mut rng = 7u64;
+        for i in 0..60u32 {
+            q.insert(&mut w, (i % 3) as usize, &[Entry::new(i, i)]);
+        }
+        let mut out = Vec::new();
+        let mut got = 0;
+        loop {
+            let n = q.delete_min(&mut w, &mut rng, &mut out, 4);
+            if n == 0 {
+                break;
+            }
+            got += n;
+        }
+        assert_eq!(got, 60, "exact sweep must drain every shard");
+        assert!(q.is_empty());
+        let mut keys: Vec<u32> = out.iter().map(|e| e.key).collect();
+        keys.sort_unstable();
+        assert_eq!(keys, (0..60).collect::<Vec<_>>());
+        assert_eq!(q.check_invariants(), 0);
+    }
+
+    #[test]
+    fn single_shard_is_strict() {
+        let q = sharded(1, 1, 4);
+        let mut w = CpuWorker;
+        let mut rng = 3u64;
+        q.insert(&mut w, 0, &[Entry::new(9u32, 0), Entry::new(2, 0), Entry::new(5, 0)]);
+        let mut out = Vec::new();
+        assert_eq!(q.delete_min(&mut w, &mut rng, &mut out, 4), 3);
+        assert_eq!(out.iter().map(|e| e.key).collect::<Vec<_>>(), vec![2, 5, 9]);
+        assert_eq!(q.quality().rank_error_sum, 0);
+    }
+
+    #[test]
+    fn sampled_delete_prefers_best_hint() {
+        let q = sharded(2, 2, 4);
+        let mut w = CpuWorker;
+        let mut rng = 1u64;
+        q.insert(&mut w, 0, &[Entry::new(100u32, 0)]);
+        q.insert(&mut w, 1, &[Entry::new(5u32, 0)]);
+        let mut out = Vec::new();
+        // c == S: both hints visible, must take the smaller minimum.
+        assert_eq!(q.delete_min(&mut w, &mut rng, &mut out, 1), 1);
+        assert_eq!(out[0].key, 5);
+        assert_eq!(q.quality().rank_error_sum, 0, "c = S never skips a smaller shard");
+    }
+
+    #[test]
+    fn merged_stats_fold_all_shards() {
+        let q = sharded(4, 2, 8);
+        let mut w = CpuWorker;
+        for a in 0..4usize {
+            q.insert(&mut w, a, &[Entry::new(1u32, 0), Entry::new(2, 0)]);
+        }
+        let total = q.merged_stats().snapshot();
+        assert_eq!(total.inserts, 4);
+        assert_eq!(total.items_inserted, 8);
+        assert!((q.load_imbalance() - 1.0).abs() < 1e-12, "even affinity = balanced");
+    }
+}

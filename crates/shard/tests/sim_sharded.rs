@@ -1,0 +1,103 @@
+//! The sharded router on the virtual-time GPU simulator: one shard per
+//! modeled GPU partition, deterministic interleavings, conservation
+//! and invariants under concurrent blocks.
+
+use bgpq::BgpqOptions;
+use bgpq_runtime::SimPlatform;
+use bgpq_shard::{ShardedBgpq, ShardedOptions};
+use gpu_sim::{launch, GpuConfig};
+use pq_api::Entry;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+type SimSharded = ShardedBgpq<u32, u32, SimPlatform>;
+
+fn sim_sharded(
+    sched: &std::sync::Arc<gpu_sim::Scheduler>,
+    cfg: &GpuConfig,
+    opts: ShardedOptions,
+) -> SimSharded {
+    let platforms = (0..opts.shards)
+        .map(|_| SimPlatform::new(sched, opts.queue.max_nodes + 1, cfg.cost, cfg.block_dim))
+        .collect();
+    ShardedBgpq::with_platforms(platforms, opts)
+}
+
+/// Each block feeds its sticky shard and pops via sampling; the run
+/// must conserve the multiset and keep every shard's invariants.
+#[test]
+fn sim_sharded_mixed_workload_conserves() {
+    let cfg = GpuConfig::new(8, 128);
+    let k = 8usize;
+    let opts = ShardedOptions::new(
+        4,
+        2,
+        BgpqOptions { node_capacity: k, max_nodes: 4096, ..Default::default() },
+    );
+    let inserted = std::sync::atomic::AtomicU64::new(0);
+    let deleted = std::sync::atomic::AtomicU64::new(0);
+    let (report, q) = launch(
+        cfg,
+        |sched| sim_sharded(sched, &cfg, opts),
+        |ctx, q: &SimSharded| {
+            let bid = ctx.block_id();
+            let mut rng = StdRng::seed_from_u64(0xBEEF ^ bid as u64);
+            let mut sample_rng = 0x5EED_0000 + bid as u64;
+            let mut out = Vec::new();
+            for _ in 0..40 {
+                if rng.gen_bool(0.6) {
+                    let n = rng.gen_range(1..=k);
+                    let items: Vec<Entry<u32, u32>> =
+                        (0..n).map(|_| Entry::new(rng.gen_range(0..1 << 30), bid as u32)).collect();
+                    q.insert(ctx.worker(), bid, &items);
+                    inserted.fetch_add(n as u64, std::sync::atomic::Ordering::Relaxed);
+                } else {
+                    out.clear();
+                    let got = q.delete_min(ctx.worker(), &mut sample_rng, &mut out, k);
+                    deleted.fetch_add(got as u64, std::sync::atomic::Ordering::Relaxed);
+                }
+            }
+        },
+    );
+    assert!(report.makespan_cycles > 0);
+    let ins = inserted.load(std::sync::atomic::Ordering::Relaxed);
+    let del = deleted.load(std::sync::atomic::Ordering::Relaxed);
+    assert_eq!(q.len() as u64 + del, ins, "sharding must not lose or duplicate keys");
+    assert_eq!(q.check_invariants(), q.len());
+    if del > 0 {
+        assert!(q.quality().deletes > 0, "successful deletes must be recorded");
+    }
+}
+
+/// Same seed → same virtual schedule, even through the sampled router.
+#[test]
+fn sim_sharded_runs_are_deterministic() {
+    let run = || {
+        let cfg = GpuConfig::new(6, 64);
+        let opts = ShardedOptions::new(
+            3,
+            2,
+            BgpqOptions { node_capacity: 4, max_nodes: 2048, ..Default::default() },
+        );
+        let (report, q) = launch(
+            cfg,
+            |sched| sim_sharded(sched, &cfg, opts),
+            |ctx, q: &SimSharded| {
+                let bid = ctx.block_id();
+                let mut sample_rng = 1 + bid as u64;
+                let mut out = Vec::new();
+                for i in 0..30u32 {
+                    q.insert(ctx.worker(), bid, &[Entry::new(i * 8 + bid as u32, 0)]);
+                    out.clear();
+                    q.delete_min(ctx.worker(), &mut sample_rng, &mut out, 1);
+                }
+            },
+        );
+        (report.makespan_cycles, q.len(), q.quality())
+    };
+    let (m1, l1, q1) = run();
+    let (m2, l2, q2) = run();
+    assert_eq!(m1, m2);
+    assert_eq!(l1, l2);
+    assert_eq!(q1, q2, "quality counters must replay identically");
+}

@@ -3,6 +3,7 @@
 
 use baseline_heaps::{CoarseLockPq, FineHeapPq};
 use bgpq::{BgpqOptions, CpuBgpq};
+use bgpq_shard::{CpuShardedBgpq, ShardedOptions};
 use cbpq::CbpqPq;
 use pq_api::{BatchPriorityQueue, Entry, ItemwiseBatch};
 use rand::rngs::StdRng;
@@ -56,6 +57,42 @@ fn strict_queues_agree_on_sorted_drain() {
     }
 }
 
+fn sharded(batch: usize) -> CpuShardedBgpq<u32, u32> {
+    CpuShardedBgpq::new(ShardedOptions::new(
+        4,
+        2,
+        BgpqOptions { node_capacity: batch, max_nodes: 1 << 12, ..Default::default() },
+    ))
+}
+
+/// The relaxed sharded front must conserve the multiset: a full drain
+/// returns exactly the keys a `BinaryHeap` reference would, just not
+/// necessarily in one globally sorted stream.
+#[test]
+fn sharded_bgpq_conserves_multiset_vs_binary_heap() {
+    let keys = generate_keys(20_000, KeyDist::Random, 17);
+    let q = sharded(64);
+    let mut items = Vec::with_capacity(64);
+    for chunk in keys.chunks(64) {
+        items.clear();
+        items.extend(chunk.iter().map(|&k| Entry::new(k, 0)));
+        q.insert_batch(&items);
+    }
+    assert_eq!(q.len(), keys.len());
+    let mut drained = Vec::new();
+    while q.delete_min_batch(&mut drained, 64) > 0 {}
+    assert!(q.is_empty(), "exact sweep must certify emptiness at quiescence");
+    let mut got: Vec<u32> = drained.iter().map(|e| e.key).collect();
+    got.sort_unstable();
+    let mut heap: std::collections::BinaryHeap<std::cmp::Reverse<u32>> =
+        keys.iter().map(|&k| std::cmp::Reverse(k)).collect();
+    let mut expect = Vec::with_capacity(keys.len());
+    while let Some(std::cmp::Reverse(k)) = heap.pop() {
+        expect.push(k);
+    }
+    assert_eq!(got, expect);
+}
+
 /// The relaxed SprayList must conserve the multiset even though its
 /// drain order is only approximately sorted.
 #[test]
@@ -81,7 +118,9 @@ fn spraylist_conserves_multiset() {
 /// multiset (deleted ∪ remaining = inserted).
 #[test]
 fn concurrent_mixed_conservation_everywhere() {
-    for (name, q) in all_queues(16) {
+    let mut queues = all_queues(16);
+    queues.push(("sharded", Box::new(sharded(16))));
+    for (name, q) in queues {
         let inserted = std::sync::atomic::AtomicU64::new(0);
         let deleted = std::sync::atomic::AtomicU64::new(0);
         std::thread::scope(|s| {

@@ -14,12 +14,9 @@ use rand::{Rng, SeedableRng};
 #[test]
 #[ignore = "soak test: ~1 minute; run with --ignored"]
 fn soak_mixed_concurrent_linearizes() {
-    let q: CpuBgpq<u32, u32> = CpuBgpq::new(BgpqOptions {
-        node_capacity: 64,
-        max_nodes: 1 << 14,
-        ..Default::default()
-    })
-    .with_history();
+    let q: CpuBgpq<u32, u32> =
+        CpuBgpq::new(BgpqOptions { node_capacity: 64, max_nodes: 1 << 14, ..Default::default() })
+            .with_history();
     std::thread::scope(|s| {
         for t in 0..8u64 {
             let q = &q;

@@ -1,0 +1,388 @@
+//! Offline stand-in for the `parking_lot` crate (0.12 API subset).
+//!
+//! Vendored so the workspace builds hermetically (no crates.io access);
+//! wired up through `[patch.crates-io]` — see DESIGN.md §6. Covers
+//! exactly the surface the workspace uses:
+//!
+//! * [`Mutex`] / [`MutexGuard`] — `new` (const), `lock`, `try_lock`,
+//!   `into_inner`;
+//! * [`RwLock`] / [`RwLockWriteGuard`] — `new`, `read`, `write`,
+//!   `into_inner`;
+//! * [`Condvar`] — `new`, `wait(&mut MutexGuard)`, `notify_one`,
+//!   `notify_all`;
+//! * [`RawMutex`] implementing [`lock_api::RawMutex`] — the lock-table
+//!   primitive behind `CpuPlatform`.
+//!
+//! Semantics: the guards wrap `std::sync` primitives with poisoning
+//! swallowed (parking_lot has no poisoning — a panic while holding a
+//! lock simply releases it here too, via `PoisonError::into_inner`).
+//! No fairness/eventual-fairness guarantees are reproduced; none of
+//! the workspace's code depends on them.
+
+use std::sync::PoisonError;
+
+/// Mutual exclusion (std-backed, non-poisoning).
+pub struct Mutex<T: ?Sized> {
+    inner: std::sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    #[inline]
+    pub const fn new(value: T) -> Self {
+        Self { inner: std::sync::Mutex::new(value) }
+    }
+
+    #[inline]
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    #[inline]
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        MutexGuard {
+            // `Some` until the guard drops or `Condvar::wait` briefly
+            // takes it to hand the std guard back to std's wait.
+            guard: Some(self.inner.lock().unwrap_or_else(PoisonError::into_inner)),
+            mutex: &self.inner,
+        }
+    }
+
+    #[inline]
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.inner.try_lock() {
+            Ok(g) => Some(MutexGuard { guard: Some(g), mutex: &self.inner }),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+            Err(std::sync::TryLockError::Poisoned(p)) => {
+                Some(MutexGuard { guard: Some(p.into_inner()), mutex: &self.inner })
+            }
+        }
+    }
+
+    #[inline]
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Self::new(T::default())
+    }
+}
+
+impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.try_lock() {
+            Some(g) => f.debug_struct("Mutex").field("data", &&*g).finish(),
+            None => f.debug_struct("Mutex").field("data", &"<locked>").finish(),
+        }
+    }
+}
+
+/// Guard returned by [`Mutex::lock`].
+pub struct MutexGuard<'a, T: ?Sized> {
+    guard: Option<std::sync::MutexGuard<'a, T>>,
+    mutex: &'a std::sync::Mutex<T>,
+}
+
+impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    #[inline]
+    fn deref(&self) -> &T {
+        self.guard.as_deref().expect("guard taken during Condvar::wait")
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut T {
+        self.guard.as_deref_mut().expect("guard taken during Condvar::wait")
+    }
+}
+
+/// Condition variable compatible with [`Mutex`].
+pub struct Condvar {
+    inner: std::sync::Condvar,
+}
+
+impl Condvar {
+    #[inline]
+    pub const fn new() -> Self {
+        Self { inner: std::sync::Condvar::new() }
+    }
+
+    /// Atomically release the guard's mutex and block until notified;
+    /// the mutex is re-acquired before returning (parking_lot signature:
+    /// `&mut MutexGuard`, unlike std which consumes and returns it).
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        let std_guard = guard.guard.take().expect("guard taken during Condvar::wait");
+        let std_guard = self.inner.wait(std_guard).unwrap_or_else(PoisonError::into_inner);
+        guard.guard = Some(std_guard);
+        let _ = guard.mutex; // field exists for future timed-wait needs
+    }
+
+    #[inline]
+    pub fn notify_one(&self) -> bool {
+        self.inner.notify_one();
+        // std does not report whether a thread was woken; callers in
+        // this workspace ignore the return value.
+        false
+    }
+
+    #[inline]
+    pub fn notify_all(&self) -> usize {
+        self.inner.notify_all();
+        0
+    }
+}
+
+impl Default for Condvar {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for Condvar {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Condvar")
+    }
+}
+
+/// Reader-writer lock (std-backed, non-poisoning).
+pub struct RwLock<T: ?Sized> {
+    inner: std::sync::RwLock<T>,
+}
+
+impl<T> RwLock<T> {
+    #[inline]
+    pub const fn new(value: T) -> Self {
+        Self { inner: std::sync::RwLock::new(value) }
+    }
+
+    #[inline]
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    #[inline]
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        RwLockReadGuard { guard: self.inner.read().unwrap_or_else(PoisonError::into_inner) }
+    }
+
+    #[inline]
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        RwLockWriteGuard { guard: self.inner.write().unwrap_or_else(PoisonError::into_inner) }
+    }
+
+    #[inline]
+    pub fn try_write(&self) -> Option<RwLockWriteGuard<'_, T>> {
+        match self.inner.try_write() {
+            Ok(g) => Some(RwLockWriteGuard { guard: g }),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+            Err(std::sync::TryLockError::Poisoned(p)) => {
+                Some(RwLockWriteGuard { guard: p.into_inner() })
+            }
+        }
+    }
+
+    #[inline]
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: Default> Default for RwLock<T> {
+    fn default() -> Self {
+        Self::new(T::default())
+    }
+}
+
+impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for RwLock<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RwLock").finish_non_exhaustive()
+    }
+}
+
+/// Shared-access guard returned by [`RwLock::read`].
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    guard: std::sync::RwLockReadGuard<'a, T>,
+}
+
+impl<T: ?Sized> std::ops::Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    #[inline]
+    fn deref(&self) -> &T {
+        &self.guard
+    }
+}
+
+/// Exclusive-access guard returned by [`RwLock::write`].
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    guard: std::sync::RwLockWriteGuard<'a, T>,
+}
+
+impl<T: ?Sized> std::ops::Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    #[inline]
+    fn deref(&self) -> &T {
+        &self.guard
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for RwLockWriteGuard<'_, T> {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.guard
+    }
+}
+
+pub mod lock_api {
+    //! Minimal stand-in for the `lock_api` facade `parking_lot`
+    //! re-exports: just the [`RawMutex`] trait the workspace's
+    //! `CpuPlatform` is written against.
+
+    /// A raw (unowned, manually released) mutual-exclusion primitive.
+    ///
+    /// # Safety contract
+    ///
+    /// `unlock` may only be called by a caller that currently holds the
+    /// lock; implementations need not detect misuse.
+    pub trait RawMutex {
+        /// Unlocked initial value, usable in `const`/static contexts.
+        const INIT: Self;
+
+        fn lock(&self);
+        fn try_lock(&self) -> bool;
+
+        /// # Safety
+        ///
+        /// The caller must hold the lock.
+        unsafe fn unlock(&self);
+    }
+}
+
+/// Raw test-and-test-and-set spinlock (yields while contended) backing
+/// `CpuPlatform`'s lock table.
+pub struct RawMutex {
+    locked: std::sync::atomic::AtomicBool,
+}
+
+impl lock_api::RawMutex for RawMutex {
+    const INIT: RawMutex = RawMutex { locked: std::sync::atomic::AtomicBool::new(false) };
+
+    #[inline]
+    fn lock(&self) {
+        use std::sync::atomic::Ordering;
+        loop {
+            if self
+                .locked
+                .compare_exchange_weak(false, true, Ordering::Acquire, Ordering::Relaxed)
+                .is_ok()
+            {
+                return;
+            }
+            // Spin on a relaxed read until the lock looks free, yielding
+            // so single-core hosts make progress.
+            while self.locked.load(Ordering::Relaxed) {
+                std::thread::yield_now();
+            }
+        }
+    }
+
+    #[inline]
+    fn try_lock(&self) -> bool {
+        use std::sync::atomic::Ordering;
+        self.locked.compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed).is_ok()
+    }
+
+    #[inline]
+    unsafe fn unlock(&self) {
+        self.locked.store(false, std::sync::atomic::Ordering::Release);
+    }
+}
+
+impl std::fmt::Debug for RawMutex {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("RawMutex")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::lock_api::RawMutex as _;
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn mutex_excludes() {
+        let m = Arc::new(Mutex::new(0u64));
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let m = Arc::clone(&m);
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        *m.lock() += 1;
+                    }
+                });
+            }
+        });
+        assert_eq!(*m.lock(), 4000);
+        assert!(m.try_lock().is_some());
+    }
+
+    #[test]
+    fn condvar_wakes_waiter() {
+        let m = Mutex::new(false);
+        let cv = Condvar::new();
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                let mut g = m.lock();
+                while !*g {
+                    cv.wait(&mut g);
+                }
+            });
+            s.spawn(|| {
+                *m.lock() = true;
+                cv.notify_all();
+            });
+        });
+        assert!(*m.lock());
+    }
+
+    #[test]
+    fn rwlock_basic() {
+        let l = RwLock::new(vec![1, 2, 3]);
+        assert_eq!(l.read().len(), 3);
+        l.write().push(4);
+        assert_eq!(l.into_inner(), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn raw_mutex_excludes() {
+        let raw = RawMutex::INIT;
+        let inside = AtomicUsize::new(0);
+        let max = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..500 {
+                        raw.lock();
+                        let now = inside.fetch_add(1, Ordering::SeqCst) + 1;
+                        max.fetch_max(now, Ordering::SeqCst);
+                        inside.fetch_sub(1, Ordering::SeqCst);
+                        unsafe { raw.unlock() };
+                    }
+                });
+            }
+        });
+        assert_eq!(max.load(Ordering::SeqCst), 1);
+        assert!(raw.try_lock());
+        assert!(!raw.try_lock());
+        unsafe { raw.unlock() };
+    }
+}

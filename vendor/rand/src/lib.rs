@@ -1,0 +1,332 @@
+//! Offline stand-in for the `rand` crate (0.8 API subset).
+//!
+//! This workspace builds in hermetic environments with no crates.io
+//! access, so the handful of external dependencies are vendored as
+//! API-compatible shims wired up through `[patch.crates-io]` (see
+//! DESIGN.md §6). This crate covers exactly the surface the workspace
+//! uses:
+//!
+//! * [`Rng`]: `gen`, `gen_range` (integer `a..b` / `a..=b` and `f64`
+//!   ranges), `gen_bool`;
+//! * [`SeedableRng::seed_from_u64`];
+//! * [`rngs::StdRng`] and [`rngs::SmallRng`].
+//!
+//! The generators are xoshiro256++ (for `StdRng`) and xorshift64*
+//! (for `SmallRng`) seeded via SplitMix64 — deterministic per seed,
+//! high-quality enough for test-input generation and benchmarks, but
+//! **not** the same streams as the real `rand` crate and not
+//! cryptographic. Code must not depend on exact values drawn from a
+//! given seed, only on per-seed determinism (which the workspace's
+//! determinism tests rely on).
+
+/// Low-level source of randomness.
+pub trait RngCore {
+    fn next_u32(&mut self) -> u32;
+    fn next_u64(&mut self) -> u64;
+}
+
+/// User-facing sampling methods (subset of `rand::Rng`).
+pub trait Rng: RngCore {
+    /// Sample a value of a standard-distribution type (`u8..u64`,
+    /// `usize`, `bool`, `f64`).
+    #[inline]
+    fn gen<T: StandardSample>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_standard(self)
+    }
+
+    /// Sample uniformly from `range` (`a..b` or `a..=b`). Panics on an
+    /// empty range, like the real crate.
+    #[inline]
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// Return `true` with probability `p`.
+    #[inline]
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p={p} out of [0,1]");
+        // 53 random bits -> uniform in [0,1).
+        let u = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        u < p
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Seed-construction subset of `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types samplable by [`Rng::gen`] (stand-in for `Standard:
+/// Distribution<T>`).
+pub trait StandardSample {
+    fn sample_standard<R: RngCore>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty => $via:ident),*) => {$(
+        impl StandardSample for $t {
+            #[inline]
+            fn sample_standard<R: RngCore>(rng: &mut R) -> Self {
+                rng.$via() as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8 => next_u32, u16 => next_u32, u32 => next_u32,
+    u64 => next_u64, usize => next_u64, i8 => next_u32, i16 => next_u32,
+    i32 => next_u32, i64 => next_u64, isize => next_u64);
+
+impl StandardSample for bool {
+    #[inline]
+    fn sample_standard<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u32() & 1 == 1
+    }
+}
+
+impl StandardSample for f64 {
+    #[inline]
+    fn sample_standard<R: RngCore>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Ranges samplable by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    fn sample_from<R: RngCore>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_sample_range_uint {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            #[inline]
+            fn sample_from<R: RngCore>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end - self.start) as u64;
+                self.start + (reduce_u64(rng.next_u64(), span) as $t)
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            #[inline]
+            fn sample_from<R: RngCore>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi - lo) as u64;
+                if span == u64::MAX as u64 {
+                    return rng.next_u64() as $t;
+                }
+                lo + (reduce_u64(rng.next_u64(), span + 1) as $t)
+            }
+        }
+    )*};
+}
+impl_sample_range_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_sample_range_int {
+    ($($t:ty : $u:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            #[inline]
+            fn sample_from<R: RngCore>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + reduce_u64(rng.next_u64(), span) as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            #[inline]
+            fn sample_from<R: RngCore>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as i128 - lo as i128) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                (lo as i128 + reduce_u64(rng.next_u64(), span + 1) as i128) as $t
+            }
+        }
+    )*};
+}
+impl_sample_range_int!(i8: u8, i16: u16, i32: u32, i64: u64, isize: usize);
+
+impl SampleRange<f64> for core::ops::Range<f64> {
+    #[inline]
+    fn sample_from<R: RngCore>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let u = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        self.start + u * (self.end - self.start)
+    }
+}
+
+impl SampleRange<f64> for core::ops::RangeInclusive<f64> {
+    #[inline]
+    fn sample_from<R: RngCore>(self, rng: &mut R) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "cannot sample empty range");
+        let u = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        lo + u * (hi - lo)
+    }
+}
+
+/// Map a uniform `u64` onto `[0, span)` by 128-bit widening multiply
+/// (Lemire reduction without the rejection step; bias ≤ 2⁻⁶⁴·span,
+/// irrelevant for test-input generation).
+#[inline]
+fn reduce_u64(x: u64, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    ((x as u128 * span as u128) >> 64) as u64
+}
+
+/// SplitMix64 — used to expand seeds into generator state.
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+pub mod rngs {
+    use super::{splitmix64, RngCore, SeedableRng};
+
+    /// Stand-in for `rand::rngs::StdRng`: xoshiro256++ (not ChaCha12 —
+    /// different streams than the real crate, same per-seed
+    /// determinism).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let mut s = [0u64; 4];
+            for slot in &mut s {
+                *slot = splitmix64(&mut sm);
+            }
+            Self { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        #[inline]
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            // xoshiro256++ step.
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+
+    /// Stand-in for `rand::rngs::SmallRng`: xorshift64*.
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        s: u64,
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let s = splitmix64(&mut sm) | 1; // never the all-zero state
+            Self { s }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        #[inline]
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            let mut x = self.s;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.s = x;
+            x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::{SmallRng, StdRng};
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let va: Vec<u32> = (0..32).map(|_| a.gen()).collect();
+        let vb: Vec<u32> = (0..32).map(|_| b.gen()).collect();
+        assert_eq!(va, vb);
+        let mut c = StdRng::seed_from_u64(8);
+        let vc: Vec<u32> = (0..32).map(|_| c.gen()).collect();
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut r = StdRng::seed_from_u64(1);
+        for _ in 0..4096 {
+            let x = r.gen_range(10u32..20);
+            assert!((10..20).contains(&x));
+            let y = r.gen_range(1usize..=4);
+            assert!((1..=4).contains(&y));
+            let z = r.gen_range(-5i64..=5);
+            assert!((-5..=5).contains(&z));
+            let f = r.gen_range(0.25f64..=0.75);
+            assert!((0.25..=0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_small_domains() {
+        let mut r = SmallRng::seed_from_u64(3);
+        let mut seen = [false; 4];
+        for _ in 0..256 {
+            seen[r.gen_range(0usize..4)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all 4 values should appear: {seen:?}");
+    }
+
+    #[test]
+    fn gen_bool_extremes_and_rate() {
+        let mut r = StdRng::seed_from_u64(5);
+        assert!((0..64).all(|_| r.gen_bool(1.0)));
+        assert!((0..64).all(|_| !r.gen_bool(0.0)));
+        let hits = (0..10_000).filter(|_| r.gen_bool(0.3)).count();
+        assert!((2000..4000).contains(&hits), "p=0.3 rate off: {hits}/10000");
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_range_panics() {
+        let mut r = StdRng::seed_from_u64(0);
+        let _ = r.gen_range(5u32..5);
+    }
+}
