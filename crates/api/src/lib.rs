@@ -15,16 +15,20 @@
 //!   via [`ItemwiseBatch`].
 //! * [`OpStats`] — cheap atomic operation counters shared by all
 //!   implementations so the bench harness can report contention metrics.
+//! * [`QueueError`] — typed failures (`Full`, `Poisoned`, `LockTimeout`)
+//!   returned by the hardened `try_*` queue entry points.
 //!
 //! The crate is dependency-free so that substrates (simulator, baselines)
 //! can depend on it without pulling anything else in.
 
 pub mod entry;
+pub mod error;
 pub mod key;
 pub mod pq;
 pub mod stats;
 
 pub use entry::Entry;
+pub use error::QueueError;
 pub use key::{KeyType, ValueType};
 pub use pq::{BatchPriorityQueue, ItemwiseBatch, PriorityQueue, QueueFactory};
-pub use stats::OpStats;
+pub use stats::{OpStats, StatsSnapshot};

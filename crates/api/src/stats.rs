@@ -35,6 +35,17 @@ pub struct OpStats {
     pub lock_acquisitions: AtomicU64,
     /// Failed first lock attempts, i.e. contention events.
     pub lock_contended: AtomicU64,
+    /// Lock acquisitions abandoned by the platform watchdog.
+    pub lock_timeouts: AtomicU64,
+    /// Bounded waits (MARKED spin / TARGET wait) that escalated from
+    /// cheap backoff to the platform's long backoff.
+    pub spin_escalations: AtomicU64,
+    /// Transitions of a queue into the poisoned state (crashed or
+    /// timed-out worker detected mid-operation).
+    pub poison_events: AtomicU64,
+    /// Shards quarantined by a sharded router after this queue (or a
+    /// sibling) failed.
+    pub shard_quarantines: AtomicU64,
 }
 
 impl OpStats {
@@ -67,6 +78,10 @@ impl OpStats {
             collaborations: ld(&self.collaborations),
             lock_acquisitions: ld(&self.lock_acquisitions),
             lock_contended: ld(&self.lock_contended),
+            lock_timeouts: ld(&self.lock_timeouts),
+            spin_escalations: ld(&self.spin_escalations),
+            poison_events: ld(&self.poison_events),
+            shard_quarantines: ld(&self.shard_quarantines),
         }
     }
 
@@ -89,6 +104,10 @@ impl OpStats {
         fold(&self.collaborations, &other.collaborations);
         fold(&self.lock_acquisitions, &other.lock_acquisitions);
         fold(&self.lock_contended, &other.lock_contended);
+        fold(&self.lock_timeouts, &other.lock_timeouts);
+        fold(&self.spin_escalations, &other.spin_escalations);
+        fold(&self.poison_events, &other.poison_events);
+        fold(&self.shard_quarantines, &other.shard_quarantines);
     }
 
     /// Reset all counters to zero (between bench trials).
@@ -105,6 +124,10 @@ impl OpStats {
         st(&self.collaborations);
         st(&self.lock_acquisitions);
         st(&self.lock_contended);
+        st(&self.lock_timeouts);
+        st(&self.spin_escalations);
+        st(&self.poison_events);
+        st(&self.shard_quarantines);
     }
 }
 
@@ -122,6 +145,10 @@ pub struct StatsSnapshot {
     pub collaborations: u64,
     pub lock_acquisitions: u64,
     pub lock_contended: u64,
+    pub lock_timeouts: u64,
+    pub spin_escalations: u64,
+    pub poison_events: u64,
+    pub shard_quarantines: u64,
 }
 
 impl std::ops::Add for StatsSnapshot {
@@ -140,6 +167,10 @@ impl std::ops::Add for StatsSnapshot {
             collaborations: self.collaborations + rhs.collaborations,
             lock_acquisitions: self.lock_acquisitions + rhs.lock_acquisitions,
             lock_contended: self.lock_contended + rhs.lock_contended,
+            lock_timeouts: self.lock_timeouts + rhs.lock_timeouts,
+            spin_escalations: self.spin_escalations + rhs.spin_escalations,
+            poison_events: self.poison_events + rhs.poison_events,
+            shard_quarantines: self.shard_quarantines + rhs.shard_quarantines,
         }
     }
 }
@@ -205,7 +236,7 @@ mod tests {
         let a = OpStats::new();
         let b = OpStats::new();
         // Distinct primes per counter so a missed field can't cancel out.
-        fn fields(s: &OpStats) -> [(&AtomicU64, u64); 11] {
+        fn fields(s: &OpStats) -> [(&AtomicU64, u64); 15] {
             [
                 (&s.inserts, 2u64),
                 (&s.delete_mins, 3),
@@ -218,6 +249,10 @@ mod tests {
                 (&s.collaborations, 23),
                 (&s.lock_acquisitions, 29),
                 (&s.lock_contended, 31),
+                (&s.lock_timeouts, 37),
+                (&s.spin_escalations, 41),
+                (&s.poison_events, 43),
+                (&s.shard_quarantines, 47),
             ]
         }
         for (c, n) in fields(&a) {

@@ -2,8 +2,8 @@
 
 use crate::heap::Bgpq;
 use crate::options::BgpqOptions;
-use bgpq_runtime::{CpuPlatform, CpuWorker};
-use pq_api::{BatchPriorityQueue, Entry, KeyType, QueueFactory, ValueType};
+use bgpq_runtime::{CpuPlatform, CpuWorker, Platform};
+use pq_api::{BatchPriorityQueue, Entry, KeyType, QueueError, QueueFactory, ValueType};
 
 /// BGPQ running on [`CpuPlatform`] (real `parking_lot` locks, real
 /// threads). Implements [`BatchPriorityQueue`] so the application
@@ -20,6 +20,18 @@ impl<K: KeyType, V: ValueType> CpuBgpq<K, V> {
         Self { inner: Bgpq::with_platform(platform, opts) }
     }
 
+    /// Build on a caller-configured [`CpuPlatform`] (watchdog, fault
+    /// plan). The platform must hold at least `opts.max_nodes + 1`
+    /// locks.
+    pub fn on_platform(platform: CpuPlatform, opts: BgpqOptions) -> Self {
+        opts.validate();
+        assert!(
+            platform.num_locks() > opts.max_nodes,
+            "platform has too few locks for max_nodes"
+        );
+        Self { inner: Bgpq::with_platform(platform, opts) }
+    }
+
     /// Enable linearization-history recording (before sharing).
     pub fn with_history(mut self) -> Self {
         self.inner = self.inner.with_history();
@@ -29,6 +41,25 @@ impl<K: KeyType, V: ValueType> CpuBgpq<K, V> {
     /// The underlying generic heap.
     pub fn inner(&self) -> &Bgpq<K, V, CpuPlatform> {
         &self.inner
+    }
+
+    /// Non-panicking insert: backpressure ([`QueueError::Full`]) and
+    /// failure ([`QueueError::Poisoned`] / [`QueueError::LockTimeout`])
+    /// surface as errors; on any `Err` no key was taken.
+    pub fn try_insert_batch(&self, items: &[Entry<K, V>]) -> Result<(), QueueError> {
+        let mut w = CpuWorker;
+        self.inner.try_insert(&mut w, items)
+    }
+
+    /// Non-panicking delete: failures surface as errors; on `Err`,
+    /// `out` is unchanged.
+    pub fn try_delete_min_batch(
+        &self,
+        out: &mut Vec<Entry<K, V>>,
+        count: usize,
+    ) -> Result<usize, QueueError> {
+        let mut w = CpuWorker;
+        self.inner.try_delete_min(&mut w, out, count)
     }
 }
 

@@ -20,14 +20,23 @@
 //! by merging insertions into it — same asymptotics on the GPU (one
 //! merge-path pass), no ambiguity.
 
-use crate::history::{HistoryOp, HistoryRecorder};
+use crate::history::{HistoryEvent, HistoryOp, HistoryRecorder};
 use crate::options::BgpqOptions;
 use crate::storage::{NodeState, NodeStorage, PBUFFER};
 use crate::tree::{next_on_path, ROOT};
-use bgpq_runtime::Platform;
-use pq_api::{Entry, KeyType, OpStats, ValueType};
+use bgpq_runtime::{InjectionPoint, Platform};
+use pq_api::{Entry, KeyType, OpStats, QueueError, ValueType};
 use primitives::{sort_split, sort_split_full, PrimitiveCost};
-use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+
+/// Spin iterations before a collaboration wait escalates from the cheap
+/// platform backoff to [`Platform::backoff_long`] (the awaited worker
+/// looks stalled, stop burning its CPU).
+const SPIN_ESCALATE_AFTER: u64 = 1 << 10;
+
+/// Most locks any single operation holds at once (delete-heapify holds
+/// a node plus both children).
+const MAX_HELD: usize = 4;
 
 /// A batched, heap-based, lock-based, linearizable concurrent priority
 /// queue — the paper's contribution.
@@ -45,8 +54,148 @@ pub struct Bgpq<K, V, P: Platform> {
     /// empty, or root and buffer both drained mid-heapify). Lets a
     /// sharded router compare shard minima without taking root locks.
     root_min_bits: AtomicU64,
+    /// Set when a worker died (panicked or timed out) mid-restructure:
+    /// the heap invariants can no longer be trusted, so every subsequent
+    /// operation fails with [`QueueError::Poisoned`] instead of reading
+    /// a possibly-corrupt structure (fail-stop; DESIGN.md "Failure
+    /// model").
+    poisoned: AtomicBool,
     stats: OpStats,
     history: Option<HistoryRecorder<K>>,
+}
+
+/// RAII critical-section guard: tracks which node locks the current
+/// operation holds so that an unwinding worker (injected panic, watchdog
+/// panic, any bug) releases its whole lock chain — peers un-wedge — and
+/// poisons the queue *before* the locks become grabbable, so those peers
+/// observe the crash as a typed error rather than corrupt state.
+struct Crit<'a, K: KeyType, V: ValueType, P: Platform> {
+    q: &'a Bgpq<K, V, P>,
+    w: &'a mut P::Worker,
+    held: [usize; MAX_HELD],
+    n: usize,
+}
+
+impl<'a, K: KeyType, V: ValueType, P: Platform> Crit<'a, K, V, P> {
+    fn new(q: &'a Bgpq<K, V, P>, w: &'a mut P::Worker) -> Self {
+        Crit { q, w, held: [0; MAX_HELD], n: 0 }
+    }
+
+    #[inline]
+    fn inject(&mut self, point: InjectionPoint) {
+        self.q.platform.inject(self.w, point);
+    }
+
+    #[inline]
+    fn charge(&mut self, c: PrimitiveCost) {
+        self.q.platform.charge(self.w, c);
+    }
+
+    #[inline]
+    fn backoff(&mut self) {
+        self.q.platform.backoff(self.w);
+    }
+
+    #[inline]
+    fn backoff_long(&mut self) {
+        self.q.platform.backoff_long(self.w);
+    }
+
+    /// Acquire `lock` and track it. A watchdog failure is counted and
+    /// surfaced; the caller decides whether it poisons (see
+    /// [`Crit::lock_or_poison`]).
+    fn acquire(&mut self, lock: usize) -> Result<(), QueueError> {
+        self.inject(InjectionPoint::PreLockAcquire);
+        match self.q.platform.lock_checked(self.w, lock) {
+            Ok(()) => {
+                debug_assert!(self.n < MAX_HELD, "lock chain deeper than MAX_HELD");
+                self.held[self.n] = lock;
+                self.n += 1;
+                self.inject(InjectionPoint::PostLockAcquire);
+                Ok(())
+            }
+            Err(f) => {
+                OpStats::bump(&self.q.stats.lock_timeouts);
+                Err(QueueError::LockTimeout { lock: f.lock, detail: f.detail })
+            }
+        }
+    }
+
+    /// First lock of an operation: nothing is held and nothing has been
+    /// mutated yet, so failure (or an existing poison) is clean — the
+    /// operation simply never starts.
+    fn lock_entry(&mut self, lock: usize) -> Result<(), QueueError> {
+        if self.q.is_poisoned() {
+            return Err(QueueError::Poisoned);
+        }
+        self.acquire(lock)
+    }
+
+    /// Mid-operation lock: the operation holds locks with a batch in
+    /// flight, so failing to advance strands keys — poison the queue and
+    /// release the chain.
+    fn lock_or_poison(&mut self, lock: usize) -> Result<(), QueueError> {
+        match self.acquire(lock) {
+            Ok(()) => {
+                if self.q.is_poisoned() {
+                    self.release_all();
+                    return Err(QueueError::Poisoned);
+                }
+                Ok(())
+            }
+            Err(e) => {
+                self.q.poison_now();
+                self.release_all();
+                Err(e)
+            }
+        }
+    }
+
+    /// Normal-path release (with the pre-release injection point).
+    fn unlock(&mut self, lock: usize) {
+        self.inject(InjectionPoint::PreLockRelease);
+        let pos = self.held[..self.n]
+            .iter()
+            .rposition(|&l| l == lock)
+            .expect("releasing a lock this operation does not hold");
+        for i in pos..self.n - 1 {
+            self.held[i] = self.held[i + 1];
+        }
+        self.n -= 1;
+        self.q.platform.unlock(self.w, lock);
+    }
+
+    /// Abandon-path release: raw unlocks (no injection hooks, so a
+    /// teardown cannot re-fault), newest first.
+    fn release_all(&mut self) {
+        while self.n > 0 {
+            self.n -= 1;
+            self.q.platform.unlock(self.w, self.held[self.n]);
+        }
+    }
+}
+
+impl<K: KeyType, V: ValueType, P: Platform> Drop for Crit<'_, K, V, P> {
+    fn drop(&mut self) {
+        // Only reached with locks held when unwinding out of a critical
+        // section (normal paths release explicitly). Poison FIRST: a
+        // peer that wins a freed lock must already see the flag.
+        if self.n > 0 {
+            self.q.poison_now();
+            self.release_all();
+        }
+    }
+}
+
+/// Per-operation linearization context: invocation timestamp and (for
+/// history-recording queues) the data needed to emit the history event
+/// *at the linearization point* — so an operation that linearized and
+/// then crashed still appears in the truncated history.
+struct OpCtx<K> {
+    invoked: Option<u64>,
+    insert_keys: Option<Vec<K>>,
+    requested: usize,
+    seq: Option<u64>,
 }
 
 impl<K: KeyType, V: ValueType, P: Platform> Bgpq<K, V, P> {
@@ -68,8 +217,25 @@ impl<K: KeyType, V: ValueType, P: Platform> Bgpq<K, V, P> {
             seq: AtomicU64::new(0),
             items: AtomicI64::new(0),
             root_min_bits: AtomicU64::new(u64::MAX),
+            poisoned: AtomicBool::new(false),
             stats: OpStats::new(),
             history: None,
+        }
+    }
+
+    /// Whether a crashed worker has poisoned this queue (all operations
+    /// now fail with [`QueueError::Poisoned`]).
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned.load(Ordering::SeqCst)
+    }
+
+    /// Transition to the poisoned state (idempotent; first transition
+    /// counts a poison event and retracts the min hint so routers stop
+    /// considering this queue).
+    fn poison_now(&self) {
+        if !self.poisoned.swap(true, Ordering::SeqCst) {
+            OpStats::bump(&self.stats.poison_events);
+            self.root_min_bits.store(u64::MAX, Ordering::Relaxed);
         }
     }
 
@@ -195,18 +361,61 @@ impl<K: KeyType, V: ValueType, P: Platform> Bgpq<K, V, P> {
     // helpers
     // ------------------------------------------------------------------
 
-    #[inline]
-    fn charge(&self, w: &mut P::Worker, c: PrimitiveCost) {
-        self.platform.charge(w, c);
+    fn begin_insert(&self, items: &[Entry<K, V>]) -> OpCtx<K> {
+        OpCtx {
+            invoked: self.history.as_ref().map(|h| h.tick()),
+            insert_keys: self.history.as_ref().map(|_| items.iter().map(|e| e.key).collect()),
+            requested: 0,
+            seq: None,
+        }
     }
 
-    /// Draw the linearization point for the operation currently holding
-    /// the root lock. Must be called *before* releasing the root lock,
-    /// exactly once per operation.
-    fn linearize(&self, seq_out: &mut Option<u64>) {
+    fn begin_delete(&self, count: usize) -> OpCtx<K> {
+        OpCtx {
+            invoked: self.history.as_ref().map(|h| h.tick()),
+            insert_keys: None,
+            requested: count,
+            seq: None,
+        }
+    }
+
+    /// Draw the linearization point of an INSERT and (if recording)
+    /// emit its history event right away, so a crash after this instant
+    /// leaves the committed operation visible in the truncated history.
+    /// Must run while holding the root lock, once per operation.
+    fn linearize_insert(&self, ctx: &mut OpCtx<K>) {
         let s = self.seq.fetch_add(1, Ordering::Relaxed) + 1;
-        debug_assert!(seq_out.is_none(), "operation linearized twice");
-        *seq_out = Some(s);
+        debug_assert!(ctx.seq.is_none(), "operation linearized twice");
+        ctx.seq = Some(s);
+        if let Some(rec) = self.history.as_ref() {
+            rec.record(HistoryEvent {
+                seq: s,
+                invoked: ctx.invoked.expect("invocation timestamp missing"),
+                responded: rec.tick(),
+                op: HistoryOp::Insert {
+                    keys: ctx.insert_keys.take().expect("insert keys missing"),
+                },
+            });
+        }
+    }
+
+    /// Draw the linearization point of a DELETEMIN (its result set
+    /// `out[start..]` is final by then) and emit the history event.
+    fn linearize_delete(&self, ctx: &mut OpCtx<K>, out: &[Entry<K, V>], start: usize) {
+        let s = self.seq.fetch_add(1, Ordering::Relaxed) + 1;
+        debug_assert!(ctx.seq.is_none(), "operation linearized twice");
+        ctx.seq = Some(s);
+        if let Some(rec) = self.history.as_ref() {
+            rec.record(HistoryEvent {
+                seq: s,
+                invoked: ctx.invoked.expect("invocation timestamp missing"),
+                responded: rec.tick(),
+                op: HistoryOp::DeleteMin {
+                    requested: ctx.requested,
+                    keys: out[start..].iter().map(|e| e.key).collect(),
+                },
+            });
+        }
     }
 
     /// Refresh [`Self::min_hint_bits`]. Caller holds the root lock (the
@@ -228,37 +437,25 @@ impl<K: KeyType, V: ValueType, P: Platform> Bgpq<K, V, P> {
         self.root_min_bits.store(bits, Ordering::Relaxed);
     }
 
-    /// Release a path lock; if it is the root's, draw the linearization
-    /// point first.
-    fn unlock_path(&self, w: &mut P::Worker, lock: usize, seq_out: &mut Option<u64>) {
+    /// Release a path lock on the insert path; if it is the root's,
+    /// draw the linearization point first.
+    fn unlock_path(&self, c: &mut Crit<'_, K, V, P>, lock: usize, ctx: &mut OpCtx<K>) {
         if lock == ROOT {
-            self.linearize(seq_out);
+            self.linearize_insert(ctx);
             self.publish_root_min();
         }
-        self.platform.unlock(w, lock);
-    }
-
-    /// Record a completed operation in the history (if enabled).
-    fn record_history(
-        &self,
-        invoked: Option<u64>,
-        seq: Option<u64>,
-        op: impl FnOnce() -> HistoryOp<K>,
-    ) {
-        if let Some(rec) = self.history.as_ref() {
-            rec.record(crate::history::HistoryEvent {
-                seq: seq.expect("operation completed without a linearization point"),
-                invoked: invoked.expect("invocation timestamp missing"),
-                responded: rec.tick(),
-                op: op(),
-            });
-        }
+        c.unlock(lock);
     }
 
     /// `EXTRACT_ROOT` (Alg. 2 lines 32-35): move up to `want` smallest
     /// keys from the root into `out`, compacting the root. Caller holds
     /// the root lock. Returns the number extracted.
-    fn extract_root(&self, w: &mut P::Worker, out: &mut Vec<Entry<K, V>>, want: usize) -> usize {
+    fn extract_root(
+        &self,
+        c: &mut Crit<'_, K, V, P>,
+        out: &mut Vec<Entry<K, V>>,
+        want: usize,
+    ) -> usize {
         // SAFETY: root lock held (caller), references scoped to this fn.
         let taken = unsafe {
             let rl = self.storage.meta_mut().root_len;
@@ -272,8 +469,8 @@ impl<K: KeyType, V: ValueType, P: Platform> Bgpq<K, V, P> {
             s
         };
         if taken > 0 {
-            self.charge(w, PrimitiveCost::GlobalRead { n: taken });
-            self.charge(w, PrimitiveCost::GlobalWrite { n: taken });
+            c.charge(PrimitiveCost::GlobalRead { n: taken });
+            c.charge(PrimitiveCost::GlobalWrite { n: taken });
         }
         taken
     }
@@ -282,20 +479,59 @@ impl<K: KeyType, V: ValueType, P: Platform> Bgpq<K, V, P> {
     // INSERT (Alg. 1)
     // ------------------------------------------------------------------
 
-    /// Insert 1..=k `(key, value)` entries.
+    /// Insert 1..=k `(key, value)` entries — the panicking convenience
+    /// API. Prefer [`Bgpq::try_insert`] anywhere failure must be
+    /// handled: this wrapper turns every [`QueueError`] into a panic
+    /// (`Full` keeps its historical "out of node slots" message).
     ///
-    /// Panics if `items` is empty, exceeds the node capacity, or the
-    /// heap body is out of node slots.
+    /// Panics if `items` is empty, exceeds the node capacity, the heap
+    /// body is out of node slots, the queue is poisoned, or a lock
+    /// watchdog fires.
     pub fn insert(&self, w: &mut P::Worker, items: &[Entry<K, V>]) {
-        let invoked = self.history.as_ref().map(|h| h.tick());
-        let keys: Option<Vec<K>> =
-            self.history.as_ref().map(|_| items.iter().map(|e| e.key).collect());
-        let mut seq = None;
-        self.insert_inner(w, items, &mut seq);
-        self.record_history(invoked, seq, || HistoryOp::Insert { keys: keys.unwrap() });
+        match self.try_insert(w, items) {
+            Ok(()) => {}
+            Err(QueueError::Full { max_nodes }) => {
+                panic!("BGPQ out of node slots (max_nodes = {max_nodes}); size the queue larger")
+            }
+            Err(e) => panic!("BGPQ insert failed: {e}"),
+        }
     }
 
-    fn insert_inner(&self, w: &mut P::Worker, items: &[Entry<K, V>], seq_out: &mut Option<u64>) {
+    /// Insert 1..=k `(key, value)` entries, surfacing failures as
+    /// [`QueueError`] instead of panicking.
+    ///
+    /// On `Err` the batch was **not** inserted and the caller still owns
+    /// every key — in particular [`QueueError::Full`] is raised *before*
+    /// any state changes, so backpressure loses nothing (contrast with
+    /// the historical behavior of dropping the overflowing node).
+    /// An operation already linearized when a fault strikes returns
+    /// `Ok`: its effect is committed (and recorded in the history) even
+    /// though the queue may now be poisoned.
+    ///
+    /// Panics only on misuse (empty or oversized batch).
+    pub fn try_insert(&self, w: &mut P::Worker, items: &[Entry<K, V>]) -> Result<(), QueueError> {
+        let mut ctx = self.begin_insert(items);
+        let mut c = Crit::new(self, w);
+        self.insert_inner(&mut c, items, &mut ctx)
+    }
+
+    /// Map a mid-flight insert fault to the API result: after the
+    /// linearization point the operation is committed (`Ok`), before it
+    /// the operation never happened (`Err`).
+    fn insert_tail(&self, ctx: &OpCtx<K>, e: QueueError) -> Result<(), QueueError> {
+        if ctx.seq.is_some() {
+            Ok(())
+        } else {
+            Err(e)
+        }
+    }
+
+    fn insert_inner(
+        &self,
+        c: &mut Crit<'_, K, V, P>,
+        items: &[Entry<K, V>],
+        ctx: &mut OpCtx<K>,
+    ) -> Result<(), QueueError> {
         let k = self.opts.node_capacity;
         let size = items.len();
         assert!(size >= 1 && size <= k, "insert batch must have 1..=k items, got {size}");
@@ -305,18 +541,40 @@ impl<K: KeyType, V: ValueType, P: Platform> Bgpq<K, V, P> {
         let mut buf: Vec<Entry<K, V>> = Vec::with_capacity(k);
         buf.extend_from_slice(items);
         buf.resize(k, Entry::sentinel());
-        self.charge(w, PrimitiveCost::SortWith { n: size, algo: self.opts.sort_algo });
+        c.charge(PrimitiveCost::SortWith { n: size, algo: self.opts.sort_algo });
         buf[..size].sort_unstable();
         let mut scratch: Vec<Entry<K, V>> = Vec::with_capacity(2 * k);
 
-        self.platform.lock(w, ROOT);
+        c.lock_entry(ROOT)?;
+        if self.is_poisoned() {
+            c.release_all();
+            return Err(QueueError::Poisoned);
+        }
+
+        // ---- PARTIAL_INSERT (Alg. 1 lines 15-29) ----
+        // SAFETY throughout: root lock held; buffer shares it.
+        let (heap_size, buf_len) = unsafe {
+            let m = self.storage.meta_mut();
+            (m.heap_size, m.buf_len)
+        };
+        let direct_full_batch = !self.opts.use_partial_buffer && size == k;
+
+        // Backpressure precheck, *before any state is touched*: a batch
+        // that will need an insert-heapify when no node slot is free is
+        // refused outright — the caller keeps every key. (The root
+        // merge below changes neither `buf_len` nor `heap_size`, so the
+        // predicate is exact.)
+        let needs_heapify = heap_size > 0 && (direct_full_batch || buf_len + size >= k);
+        if needs_heapify && heap_size >= self.opts.max_nodes {
+            let max_nodes = self.opts.max_nodes;
+            c.unlock(ROOT);
+            return Err(QueueError::Full { max_nodes });
+        }
+
         OpStats::bump(&self.stats.inserts);
         OpStats::add(&self.stats.items_inserted, size as u64);
         self.items.fetch_add(size as i64, Ordering::Relaxed);
 
-        // ---- PARTIAL_INSERT (Alg. 1 lines 15-29) ----
-        // SAFETY throughout: root lock held; buffer shares it.
-        let heap_size = unsafe { self.storage.meta_mut().heap_size };
         if heap_size == 0 {
             unsafe {
                 self.storage.node_mut(ROOT)[..size].copy_from_slice(&buf[..size]);
@@ -324,35 +582,33 @@ impl<K: KeyType, V: ValueType, P: Platform> Bgpq<K, V, P> {
                 m.root_len = size;
                 m.heap_size = 1;
             }
-            self.charge(w, PrimitiveCost::GlobalWrite { n: size });
+            c.charge(PrimitiveCost::GlobalWrite { n: size });
             self.storage.set_state(ROOT, NodeState::Avail);
             OpStats::bump(&self.stats.inserts_buffered);
-            self.linearize(seq_out);
+            self.linearize_insert(ctx);
             self.publish_root_min();
-            self.platform.unlock(w, ROOT);
-            return;
+            c.unlock(ROOT);
+            return Ok(());
         }
 
         // Merge with the root so it keeps the |root| smallest keys
         // (Alg. 1 line 20).
         let root_len = unsafe { self.storage.meta_mut().root_len };
         if root_len > 0 {
-            self.charge(w, PrimitiveCost::GlobalRead { n: root_len });
-            self.charge(w, PrimitiveCost::SortSplit { na: root_len, nb: size });
+            c.charge(PrimitiveCost::GlobalRead { n: root_len });
+            c.charge(PrimitiveCost::SortSplit { na: root_len, nb: size });
             unsafe {
                 let root = self.storage.node_mut(ROOT);
                 sort_split(root, root_len, &mut buf, size, root_len, &mut scratch);
             }
-            self.charge(w, PrimitiveCost::GlobalWrite { n: root_len });
+            c.charge(PrimitiveCost::GlobalWrite { n: root_len });
         }
 
-        let buf_len = unsafe { self.storage.meta_mut().buf_len };
-        let direct_full_batch = !self.opts.use_partial_buffer && size == k;
         if !direct_full_batch && buf_len + size < k {
             // Buffer absorbs the batch (Alg. 1 lines 21-24); kept sorted
             // by merging (see module docs).
-            self.charge(w, PrimitiveCost::GlobalRead { n: buf_len });
-            self.charge(w, PrimitiveCost::Merge { n: buf_len + size });
+            c.charge(PrimitiveCost::GlobalRead { n: buf_len });
+            c.charge(PrimitiveCost::Merge { n: buf_len + size });
             unsafe {
                 let pb = self.storage.node_mut(PBUFFER);
                 // Merge buf[..size] into pb[..buf_len]: both sorted.
@@ -371,86 +627,78 @@ impl<K: KeyType, V: ValueType, P: Platform> Bgpq<K, V, P> {
                 }
                 self.storage.meta_mut().buf_len = buf_len + size;
             }
-            self.charge(w, PrimitiveCost::GlobalWrite { n: buf_len + size });
+            c.charge(PrimitiveCost::GlobalWrite { n: buf_len + size });
             OpStats::bump(&self.stats.inserts_buffered);
-            self.linearize(seq_out);
+            self.linearize_insert(ctx);
             self.publish_root_min();
-            self.platform.unlock(w, ROOT);
-            return;
+            c.unlock(ROOT);
+            return Ok(());
         }
 
         if !direct_full_batch {
             // Overflow (Alg. 1 lines 25-29): extract the k smallest of
             // (batch ∪ buffer) into `buf`, leave the rest in the buffer.
             debug_assert!(buf_len + size >= k);
-            self.charge(w, PrimitiveCost::GlobalRead { n: buf_len });
-            self.charge(w, PrimitiveCost::SortSplit { na: size, nb: buf_len });
+            c.charge(PrimitiveCost::GlobalRead { n: buf_len });
+            c.charge(PrimitiveCost::SortSplit { na: size, nb: buf_len });
             unsafe {
                 let pb = self.storage.node_mut(PBUFFER);
                 sort_split(&mut buf, size, pb, buf_len, k, &mut scratch);
                 self.storage.meta_mut().buf_len = buf_len + size - k;
             }
-            self.charge(w, PrimitiveCost::GlobalWrite { n: buf_len + size - k });
+            c.charge(PrimitiveCost::GlobalWrite { n: buf_len + size - k });
         }
 
         // ---- full insert-heapify (Alg. 1 lines 5-14) ----
         OpStats::bump(&self.stats.insert_heapifies);
-        let tar = {
-            // SAFETY: root lock held.
-            let full = unsafe { self.storage.meta_mut().heap_size >= self.opts.max_nodes };
-            if full {
-                // Release the root before unwinding so the queue stays
-                // usable. The k largest keys of (root ∪ buffer ∪ batch)
-                // — the full node that has nowhere to go — are dropped;
-                // the item counter is adjusted so `len()` stays exact.
-                self.items.fetch_sub(k as i64, Ordering::Relaxed);
-                self.linearize(seq_out);
-                self.publish_root_min();
-                self.platform.unlock(w, ROOT);
-                panic!(
-                    "BGPQ out of node slots (max_nodes = {}); size the queue larger",
-                    self.opts.max_nodes
-                );
-            }
-            // SAFETY: root lock held.
-            unsafe {
-                let m = self.storage.meta_mut();
-                m.heap_size += 1;
-                m.heap_size
-            }
+        // The precheck above guaranteed a free slot.
+        debug_assert!(unsafe { self.storage.meta_mut().heap_size } < self.opts.max_nodes);
+        // SAFETY: root lock held.
+        let tar = unsafe {
+            let m = self.storage.meta_mut();
+            m.heap_size += 1;
+            m.heap_size
         };
-        self.platform.lock(w, tar);
+        if let Err(e) = c.lock_or_poison(tar) {
+            return self.insert_tail(ctx, e);
+        }
         self.storage.set_state(tar, NodeState::Target);
-        self.platform.unlock(w, tar);
+        c.unlock(tar);
 
         // INSERT_HEAPIFY (Alg. 1 lines 30-34), iteratively. `held` is
         // the lock we currently hold — initially the root.
         let mut held = ROOT;
         let mut cur = next_on_path(ROOT, tar);
         while cur != tar && self.storage.state(tar) != NodeState::Marked {
-            self.platform.lock(w, cur);
-            self.unlock_path(w, held, seq_out);
+            c.inject(InjectionPoint::MidInsertHeapify);
+            if let Err(e) = c.lock_or_poison(cur) {
+                return self.insert_tail(ctx, e);
+            }
+            self.unlock_path(c, held, ctx);
             held = cur;
-            self.charge(w, PrimitiveCost::GlobalRead { n: k });
-            self.charge(w, PrimitiveCost::SortSplit { na: k, nb: k });
+            c.charge(PrimitiveCost::GlobalRead { n: k });
+            c.charge(PrimitiveCost::SortSplit { na: k, nb: k });
             // SAFETY: we hold `cur`'s lock; path nodes are full AVAIL.
             unsafe {
                 sort_split_full(self.storage.node_mut(cur), &mut buf, &mut scratch);
             }
-            self.charge(w, PrimitiveCost::GlobalWrite { n: k });
+            c.charge(PrimitiveCost::GlobalWrite { n: k });
             cur = next_on_path(cur, tar);
         }
 
         // Alg. 1 lines 8-14.
-        self.platform.lock(w, tar);
-        self.unlock_path(w, held, seq_out);
+        c.inject(InjectionPoint::MidInsertHeapify);
+        if let Err(e) = c.lock_or_poison(tar) {
+            return self.insert_tail(ctx, e);
+        }
+        self.unlock_path(c, held, ctx);
         if self.storage.state(tar) == NodeState::Target {
             // SAFETY: we hold tar's lock and it is TARGET (reserved for
             // us; no keys yet).
             unsafe {
                 self.storage.node_mut(tar).copy_from_slice(&buf[..k]);
             }
-            self.charge(w, PrimitiveCost::GlobalWrite { n: k });
+            c.charge(PrimitiveCost::GlobalWrite { n: k });
             self.storage.set_state(tar, NodeState::Avail);
         } else {
             // MARKED: a DELETEMIN is spinning on the root (holding the
@@ -463,12 +711,13 @@ impl<K: KeyType, V: ValueType, P: Platform> Bgpq<K, V, P> {
                 self.storage.node_mut(ROOT).copy_from_slice(&buf[..k]);
                 self.storage.meta_mut().root_len = k;
             }
-            self.charge(w, PrimitiveCost::GlobalWrite { n: k });
+            c.charge(PrimitiveCost::GlobalWrite { n: k });
             self.storage.set_state(ROOT, NodeState::Avail);
             self.storage.set_state(tar, NodeState::Empty);
             OpStats::bump(&self.stats.collaborations);
         }
-        self.platform.unlock(w, tar);
+        c.unlock(tar);
+        Ok(())
     }
 
     // ------------------------------------------------------------------
@@ -476,33 +725,112 @@ impl<K: KeyType, V: ValueType, P: Platform> Bgpq<K, V, P> {
     // ------------------------------------------------------------------
 
     /// Delete up to `count` (1..=k) smallest entries, appending them to
-    /// `out` in ascending key order. Returns how many were deleted
-    /// (fewer than `count` only if the queue ran out of items).
+    /// `out` in ascending key order — the panicking convenience API.
+    /// Prefer [`Bgpq::try_delete_min`] anywhere failure must be
+    /// handled. Returns how many were deleted (fewer than `count` only
+    /// if the queue ran out of items).
+    ///
+    /// Panics on any [`QueueError`] (poisoned queue, watchdog timeout).
     pub fn delete_min(&self, w: &mut P::Worker, out: &mut Vec<Entry<K, V>>, count: usize) -> usize {
-        let invoked = self.history.as_ref().map(|h| h.tick());
-        let mut seq = None;
-        let start = out.len();
-        let got = self.delete_min_inner(w, out, count, &mut seq);
-        self.record_history(invoked, seq, || HistoryOp::DeleteMin {
-            requested: count,
-            keys: out[start..].iter().map(|e| e.key).collect(),
-        });
-        got
+        self.try_delete_min(w, out, count).unwrap_or_else(|e| panic!("BGPQ delete_min failed: {e}"))
     }
 
-    fn delete_min_inner(
+    /// Delete up to `count` (1..=k) smallest entries, surfacing
+    /// failures as [`QueueError`] instead of panicking.
+    ///
+    /// On `Err` nothing was appended to `out` (a partially-assembled
+    /// result is rolled back) and the operation did not linearize. An
+    /// operation already linearized when a fault strikes returns `Ok`
+    /// with its final result set — committed and recorded — even though
+    /// the queue may now be poisoned.
+    ///
+    /// Panics only on misuse (`count` outside `1..=k`).
+    pub fn try_delete_min(
         &self,
         w: &mut P::Worker,
         out: &mut Vec<Entry<K, V>>,
         count: usize,
-        seq_out: &mut Option<u64>,
-    ) -> usize {
+    ) -> Result<usize, QueueError> {
+        let mut ctx = self.begin_delete(count);
+        let start = out.len();
+        let r = {
+            let mut c = Crit::new(self, w);
+            self.delete_min_inner(&mut c, out, count, &mut ctx)
+        };
+        match r {
+            Ok(n) => Ok(n),
+            Err(e) => self.delete_tail(&ctx, out, start, e),
+        }
+    }
+
+    /// Map a mid-flight delete fault to the API result: post-linearize
+    /// the result set is committed, pre-linearize it is rolled back.
+    fn delete_tail(
+        &self,
+        ctx: &OpCtx<K>,
+        out: &mut Vec<Entry<K, V>>,
+        start: usize,
+        e: QueueError,
+    ) -> Result<usize, QueueError> {
+        if ctx.seq.is_some() {
+            Ok(out.len() - start)
+        } else {
+            out.truncate(start);
+            Err(e)
+        }
+    }
+
+    /// Bounded collaboration wait: spin until `node`'s state is `want`,
+    /// escalating the backoff once the peer looks stalled and giving up
+    /// (poisoning) at `opts.marked_spin_bound` — the peer has evidently
+    /// died and the awaited refill will never come. Also aborts as soon
+    /// as an existing poison is observed. Caller handles lock release.
+    fn bounded_wait(
+        &self,
+        c: &mut Crit<'_, K, V, P>,
+        node: usize,
+        want: NodeState,
+    ) -> Result<(), QueueError> {
+        let mut iters: u64 = 0;
+        while self.storage.state(node) != want {
+            if self.is_poisoned() {
+                return Err(QueueError::Poisoned);
+            }
+            iters += 1;
+            if iters > self.opts.marked_spin_bound {
+                self.poison_now();
+                return Err(QueueError::Poisoned);
+            }
+            c.inject(InjectionPoint::MarkedSpin);
+            if iters >= SPIN_ESCALATE_AFTER {
+                if iters == SPIN_ESCALATE_AFTER {
+                    OpStats::bump(&self.stats.spin_escalations);
+                }
+                c.backoff_long();
+            } else {
+                c.backoff();
+            }
+        }
+        Ok(())
+    }
+
+    fn delete_min_inner(
+        &self,
+        c: &mut Crit<'_, K, V, P>,
+        out: &mut Vec<Entry<K, V>>,
+        count: usize,
+        ctx: &mut OpCtx<K>,
+    ) -> Result<usize, QueueError> {
         let k = self.opts.node_capacity;
         assert!(count >= 1 && count <= k, "delete batch must request 1..=k items, got {count}");
         let start = out.len();
         let mut scratch: Vec<Entry<K, V>> = Vec::with_capacity(2 * k);
 
-        self.platform.lock(w, ROOT);
+        c.lock_entry(ROOT)?;
+        if self.is_poisoned() {
+            c.release_all();
+            return Err(QueueError::Poisoned);
+        }
         OpStats::bump(&self.stats.delete_mins);
 
         // ---- PARTIAL_DELETEMIN (Alg. 2 lines 15-31) ----
@@ -513,20 +841,20 @@ impl<K: KeyType, V: ValueType, P: Platform> Bgpq<K, V, P> {
         };
 
         if heap_size == 0 {
-            self.finish_delete(w, out, start, ROOT, true, seq_out);
-            return 0;
+            self.finish_delete(c, out, start, ROOT, true, ctx)?;
+            return Ok(0);
         }
 
         if count < root_len {
             // Root alone satisfies the request (Alg. 2 lines 18-20).
-            self.extract_root(w, out, count);
+            self.extract_root(c, out, count);
             OpStats::bump(&self.stats.deletes_from_root);
-            self.finish_delete(w, out, start, ROOT, true, seq_out);
-            return count;
+            self.finish_delete(c, out, start, ROOT, true, ctx)?;
+            return Ok(count);
         }
 
         // Take everything the root has (Alg. 2 line 22).
-        self.extract_root(w, out, root_len);
+        self.extract_root(c, out, root_len);
 
         if heap_size == 1 {
             // No full nodes: serve the remainder from the buffer
@@ -542,9 +870,9 @@ impl<K: KeyType, V: ValueType, P: Platform> Bgpq<K, V, P> {
                     m.buf_len = 0;
                 }
             }
-            self.charge(w, PrimitiveCost::GlobalRead { n: k });
+            c.charge(PrimitiveCost::GlobalRead { n: k });
             let remaining = count - (out.len() - start);
-            self.extract_root(w, out, remaining);
+            self.extract_root(c, out, remaining);
             unsafe {
                 let m = self.storage.meta_mut();
                 if m.root_len == 0 {
@@ -554,8 +882,8 @@ impl<K: KeyType, V: ValueType, P: Platform> Bgpq<K, V, P> {
                 }
             }
             OpStats::bump(&self.stats.deletes_from_root);
-            self.finish_delete(w, out, start, ROOT, true, seq_out);
-            return out.len() - start;
+            self.finish_delete(c, out, start, ROOT, true, ctx)?;
+            return Ok(out.len() - start);
         }
 
         // ---- refill the root from a heap node (Alg. 2 lines 4-14) ----
@@ -568,39 +896,41 @@ impl<K: KeyType, V: ValueType, P: Platform> Bgpq<K, V, P> {
             t
         };
         debug_assert!(tar >= 2);
-        self.platform.lock(w, tar);
-        self.charge(w, PrimitiveCost::Atomic);
+        c.lock_or_poison(tar)?;
+        c.charge(PrimitiveCost::Atomic);
 
         if self.storage.state(tar) == NodeState::Target {
             if self.opts.use_collaboration {
                 // Collaborate: the in-flight insertion refills the root
                 // directly (§4.3; footnote 2: we spin holding the root
-                // lock).
+                // lock). Bounded: a dead inserter must not wedge us.
                 self.storage.set_state(tar, NodeState::Marked);
-                self.platform.unlock(w, tar);
-                while self.storage.state(ROOT) != NodeState::Avail {
-                    self.platform.backoff(w);
+                c.unlock(tar);
+                if let Err(e) = self.bounded_wait(c, ROOT, NodeState::Avail) {
+                    c.release_all();
+                    return Err(e);
                 }
             } else {
                 // Ablation: wait for the insertion to finish filling
                 // `tar`, then take its keys like any AVAIL node.
-                self.platform.unlock(w, tar);
-                while self.storage.state(tar) != NodeState::Avail {
-                    self.platform.backoff(w);
+                c.unlock(tar);
+                if let Err(e) = self.bounded_wait(c, tar, NodeState::Avail) {
+                    c.release_all();
+                    return Err(e);
                 }
-                self.platform.lock(w, tar);
+                c.lock_or_poison(tar)?;
                 debug_assert_eq!(self.storage.state(tar), NodeState::Avail);
-                self.move_node_to_root(w, tar, k);
+                self.move_node_to_root(c, tar, k);
             }
         } else {
             debug_assert_eq!(self.storage.state(tar), NodeState::Avail);
-            self.move_node_to_root(w, tar, k);
+            self.move_node_to_root(c, tar, k);
         }
 
         // Re-establish root ≤ buffer (Alg. 2 line 13).
         let buf_len = unsafe { self.storage.meta_mut().buf_len };
         if buf_len > 0 {
-            self.charge(w, PrimitiveCost::SortSplit { na: k, nb: buf_len });
+            c.charge(PrimitiveCost::SortSplit { na: k, nb: buf_len });
             // SAFETY: root lock held covers both the root and buffer.
             unsafe {
                 let root = self.storage.node_mut(ROOT);
@@ -610,14 +940,14 @@ impl<K: KeyType, V: ValueType, P: Platform> Bgpq<K, V, P> {
         }
 
         OpStats::bump(&self.stats.delete_heapifies);
-        self.delete_heapify(w, out, start, remained, &mut scratch, seq_out);
-        out.len() - start
+        self.delete_heapify(c, out, start, remained, &mut scratch, ctx)?;
+        Ok(out.len() - start)
     }
 
     /// Move AVAIL node `tar`'s full batch into the (empty) root and
     /// release `tar`. Caller holds both the root and `tar` locks.
-    fn move_node_to_root(&self, w: &mut P::Worker, tar: usize, k: usize) {
-        self.charge(w, PrimitiveCost::GlobalRead { n: k });
+    fn move_node_to_root(&self, c: &mut Crit<'_, K, V, P>, tar: usize, k: usize) {
+        c.charge(PrimitiveCost::GlobalRead { n: k });
         // SAFETY: both locks held; nodes are disjoint (tar >= 2).
         unsafe {
             let src = self.storage.node_ref(tar);
@@ -625,9 +955,9 @@ impl<K: KeyType, V: ValueType, P: Platform> Bgpq<K, V, P> {
             dst.copy_from_slice(src);
             self.storage.meta_mut().root_len = k;
         }
-        self.charge(w, PrimitiveCost::GlobalWrite { n: k });
+        c.charge(PrimitiveCost::GlobalWrite { n: k });
         self.storage.set_state(tar, NodeState::Empty);
-        self.platform.unlock(w, tar);
+        c.unlock(tar);
         self.storage.set_state(ROOT, NodeState::Avail);
     }
 
@@ -636,26 +966,27 @@ impl<K: KeyType, V: ValueType, P: Platform> Bgpq<K, V, P> {
     /// caller are extracted from the root before it is released.
     fn delete_heapify(
         &self,
-        w: &mut P::Worker,
+        c: &mut Crit<'_, K, V, P>,
         out: &mut Vec<Entry<K, V>>,
         start: usize,
         remained: usize,
         scratch: &mut Vec<Entry<K, V>>,
-        seq_out: &mut Option<u64>,
-    ) {
+        ctx: &mut OpCtx<K>,
+    ) -> Result<(), QueueError> {
         let k = self.opts.node_capacity;
         let max = self.opts.max_nodes;
         let mut cur = ROOT;
         loop {
+            c.inject(InjectionPoint::MidDeleteHeapify);
             let l = crate::tree::left(cur);
             let r = crate::tree::right(cur);
             let l_in = l <= max;
             let r_in = r <= max;
             if l_in {
-                self.platform.lock(w, l);
+                c.lock_or_poison(l)?;
             }
             if r_in {
-                self.platform.lock(w, r);
+                c.lock_or_poison(r)?;
             }
             let l_has = l_in && self.storage.state(l) == NodeState::Avail;
             let r_has = r_in && self.storage.state(r) == NodeState::Avail;
@@ -673,23 +1004,23 @@ impl<K: KeyType, V: ValueType, P: Platform> Bgpq<K, V, P> {
                     (false, false) => None,
                 }
             };
-            self.charge(w, PrimitiveCost::GlobalRead { n: if l_has { k } else { 0 } });
-            self.charge(w, PrimitiveCost::GlobalRead { n: if r_has { k } else { 0 } });
+            c.charge(PrimitiveCost::GlobalRead { n: if l_has { k } else { 0 } });
+            c.charge(PrimitiveCost::GlobalRead { n: if r_has { k } else { 0 } });
 
             // Alg. 3 lines 4-8: heap property already satisfied (TARGET
             // and EMPTY children hold no keys).
             if min_child.is_none_or(|m| cur_max <= m) {
                 if cur == ROOT {
-                    self.extract_root(w, out, remained);
+                    self.extract_root(c, out, remained);
                 }
                 if r_in {
-                    self.platform.unlock(w, r);
+                    c.unlock(r);
                 }
                 if l_in {
-                    self.platform.unlock(w, l);
+                    c.unlock(l);
                 }
-                self.finish_delete(w, out, start, cur, cur == ROOT, seq_out);
-                return;
+                self.finish_delete(c, out, start, cur, cur == ROOT, ctx)?;
+                return Ok(());
             }
 
             // Descend. If only one child holds keys, SORT_SPLIT with it
@@ -704,39 +1035,39 @@ impl<K: KeyType, V: ValueType, P: Platform> Bgpq<K, V, P> {
                         (r, l)
                     }
                 };
-                self.charge(w, PrimitiveCost::SortSplit { na: k, nb: k });
+                c.charge(PrimitiveCost::SortSplit { na: k, nb: k });
                 // SAFETY: both child locks held; disjoint nodes.
                 unsafe {
                     sort_split_two(self.storage.node_mut(y), self.storage.node_mut(x), scratch);
                 }
-                self.charge(w, PrimitiveCost::GlobalWrite { n: k });
-                self.platform.unlock(w, x);
+                c.charge(PrimitiveCost::GlobalWrite { n: k });
+                c.unlock(x);
                 y
             } else {
                 let y = if l_has { l } else { r };
                 // Release the keyless sibling immediately.
                 let other = if l_has { r } else { l };
                 if other == r && r_in {
-                    self.platform.unlock(w, r);
+                    c.unlock(r);
                 } else if other == l && l_in {
-                    self.platform.unlock(w, l);
+                    c.unlock(l);
                 }
                 y
             };
 
             // SORT_SPLIT(cur, y): cur keeps the k smallest (Alg. 3
             // line 12).
-            self.charge(w, PrimitiveCost::SortSplit { na: k, nb: k });
+            c.charge(PrimitiveCost::SortSplit { na: k, nb: k });
             // SAFETY: cur and y locks held; disjoint nodes.
             unsafe {
                 sort_split_two(self.storage.node_mut(cur), self.storage.node_mut(y), scratch);
             }
-            self.charge(w, PrimitiveCost::GlobalWrite { n: 2 * k });
+            c.charge(PrimitiveCost::GlobalWrite { n: 2 * k });
 
             if cur == ROOT {
-                self.extract_root(w, out, remained);
+                self.extract_root(c, out, remained);
             }
-            self.finish_delete(w, out, start, cur, cur == ROOT, seq_out);
+            self.finish_delete(c, out, start, cur, cur == ROOT, ctx)?;
             cur = y;
         }
     }
@@ -746,21 +1077,29 @@ impl<K: KeyType, V: ValueType, P: Platform> Bgpq<K, V, P> {
     /// by then), so draw the sequence number and update the item count.
     fn finish_delete(
         &self,
-        w: &mut P::Worker,
+        c: &mut Crit<'_, K, V, P>,
         out: &[Entry<K, V>],
         start: usize,
         lock: usize,
         is_root: bool,
-        seq_out: &mut Option<u64>,
-    ) {
+        ctx: &mut OpCtx<K>,
+    ) -> Result<(), QueueError> {
         if is_root {
+            // Last pre-commit poison check: if a peer died while we
+            // worked, abort before publishing the result rather than
+            // hand out keys from a queue in an unknown state.
+            if self.is_poisoned() && ctx.seq.is_none() {
+                c.release_all();
+                return Err(QueueError::Poisoned);
+            }
             let got = &out[start..];
             self.items.fetch_sub(got.len() as i64, Ordering::Relaxed);
             OpStats::add(&self.stats.items_deleted, got.len() as u64);
-            self.linearize(seq_out);
+            self.linearize_delete(ctx, out, start);
             self.publish_root_min();
         }
-        self.platform.unlock(w, lock);
+        c.unlock(lock);
+        Ok(())
     }
 }
 
@@ -784,6 +1123,7 @@ impl<K: KeyType, V: ValueType, P: Platform> Bgpq<K, V, P> {
     /// concurrent operations may be running. Panics with a description
     /// on violation; returns the total key count on success.
     pub fn check_invariants(&self) -> usize {
+        assert!(!self.is_poisoned(), "queue is poisoned; invariants are void");
         // SAFETY: quiescence is the caller's contract; no other thread
         // touches storage.
         unsafe {

@@ -44,4 +44,5 @@ pub use cpu::{CpuBgpq, CpuBgpqFactory};
 pub use heap::Bgpq;
 pub use history::{check_history, HistoryEvent, HistoryOp, HistoryViolation};
 pub use options::BgpqOptions;
+pub use pq_api::QueueError;
 pub use storage::NodeState;

@@ -27,6 +27,12 @@ pub struct BgpqOptions {
     /// uses bitonic). The sorted result is identical for all three, so
     /// this knob affects only the virtual-time charge.
     pub sort_algo: SortAlgo,
+    /// Maximum iterations a DELETEMIN spends spinning on a MARKED/TARGET
+    /// collaboration before giving up and poisoning the queue (the
+    /// counterpart insert has evidently died; see DESIGN.md "Failure
+    /// model"). Spins escalate to the platform's long backoff well
+    /// before this bound, so a merely-slow peer does not trip it.
+    pub marked_spin_bound: u64,
 }
 
 impl BgpqOptions {
@@ -45,12 +51,19 @@ impl BgpqOptions {
             use_partial_buffer: true,
             use_collaboration: true,
             sort_algo: SortAlgo::Bitonic,
+            marked_spin_bound: Self::DEFAULT_MARKED_SPIN_BOUND,
         }
     }
+
+    /// Default collaboration-spin bound (~10⁶ iterations — orders of
+    /// magnitude above any healthy refill, cheap enough to trip fast in
+    /// a drill).
+    pub const DEFAULT_MARKED_SPIN_BOUND: u64 = 1 << 20;
 
     pub fn validate(&self) {
         assert!(self.node_capacity >= 1, "node capacity must be >= 1");
         assert!(self.max_nodes >= 1, "need at least the root node");
+        assert!(self.marked_spin_bound >= 1, "spin bound must be >= 1");
     }
 
     /// Total key capacity of the heap body (excluding the buffer).
@@ -67,6 +80,7 @@ impl Default for BgpqOptions {
             use_partial_buffer: true,
             use_collaboration: true,
             sort_algo: SortAlgo::Bitonic,
+            marked_spin_bound: Self::DEFAULT_MARKED_SPIN_BOUND,
         }
     }
 }

@@ -282,3 +282,112 @@ fn queue_survives_capacity_panic() {
     q.insert_batch(&[Entry::new(9, ())]);
     assert_eq!(q.len(), 1);
 }
+
+// ----------------------------------------------------------------------
+// Failure hardening: try_* APIs, backpressure, poisoning
+// ----------------------------------------------------------------------
+
+#[test]
+fn try_insert_full_loses_no_keys() {
+    // k = 2, max_nodes = 2 → 4 heap slots + 1 buffer slot.
+    let q: CpuBgpq<u32, u32> = CpuBgpq::new(opts(2, 2));
+    let mut accepted: Vec<u32> = Vec::new();
+    let mut refused = 0usize;
+    for i in 0..64u32 {
+        let batch = [Entry::new(i, i), Entry::new(i + 1000, i)];
+        match q.try_insert_batch(&batch) {
+            Ok(()) => accepted.extend(batch.iter().map(|e| e.key)),
+            Err(bgpq::QueueError::Full { max_nodes }) => {
+                assert_eq!(max_nodes, 2);
+                refused += 1;
+            }
+            Err(e) => panic!("unexpected error: {e}"),
+        }
+        // A refused batch must not change the count.
+        assert_eq!(q.len(), accepted.len(), "after batch {i}");
+    }
+    assert!(refused > 0, "queue must have refused something");
+    assert!(!accepted.is_empty(), "queue must have accepted something");
+    // Drain: exactly the accepted multiset comes back, sorted.
+    let mut out = Vec::new();
+    while q.try_delete_min_batch(&mut out, 2).expect("healthy queue") > 0 {}
+    let mut got: Vec<u32> = out.iter().map(|e| e.key).collect();
+    assert!(got.windows(2).all(|p| p[0] <= p[1]));
+    got.sort_unstable();
+    accepted.sort_unstable();
+    assert_eq!(got, accepted, "Full refusal dropped or duplicated keys");
+    q.inner().check_invariants();
+}
+
+#[test]
+fn full_refusal_then_delete_makes_room() {
+    let q: CpuBgpq<u32, ()> = CpuBgpq::new(opts(2, 2));
+    while q.try_insert_batch(&[Entry::new(1, ()), Entry::new(2, ())]).is_ok() {}
+    let n_before = q.len();
+    let mut out = Vec::new();
+    q.try_delete_min_batch(&mut out, 2).unwrap();
+    // Backpressure is transient: space freed by the delete is reusable.
+    q.try_insert_batch(&[Entry::new(3, ()), Entry::new(4, ())])
+        .expect("insert after delete must succeed");
+    assert_eq!(q.len(), n_before);
+}
+
+#[test]
+fn injected_panic_poisons_queue_and_try_ops_refuse() {
+    use bgpq_runtime::{CpuPlatform, FaultAction, FaultPlan, InjectionPoint};
+    use std::sync::Arc;
+
+    let o = opts(2, 64);
+    let plan = Arc::new(FaultPlan::new().with_rule(
+        InjectionPoint::MidInsertHeapify,
+        1,
+        FaultAction::Panic,
+    ));
+    let platform = CpuPlatform::new(o.max_nodes + 1).with_faults(plan);
+    let q: CpuBgpq<u32, ()> = CpuBgpq::on_platform(platform, o);
+
+    // Drive inserts until the injected panic fires mid-heapify.
+    let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        for i in 0..64u32 {
+            q.insert_batch(&[Entry::new(i, ()), Entry::new(i + 100, ())]);
+        }
+    }));
+    assert!(r.is_err(), "injected panic must surface");
+    assert!(q.inner().is_poisoned(), "unwound critical section must poison");
+    assert_eq!(q.inner().stats().snapshot().poison_events, 1);
+
+    // Every subsequent operation refuses cleanly — and no lock is left
+    // held, so these return instead of deadlocking.
+    assert!(matches!(q.try_insert_batch(&[Entry::new(1, ())]), Err(bgpq::QueueError::Poisoned)));
+    let mut out = Vec::new();
+    assert!(matches!(q.try_delete_min_batch(&mut out, 2), Err(bgpq::QueueError::Poisoned)));
+    assert!(out.is_empty(), "failed delete must not emit keys");
+}
+
+#[test]
+fn poisoned_queue_reports_empty_min_hint() {
+    use bgpq_runtime::{CpuPlatform, FaultAction, FaultPlan, InjectionPoint};
+    use std::sync::Arc;
+
+    let o = opts(2, 64);
+    let plan = Arc::new(FaultPlan::new().with_rule(
+        InjectionPoint::MidDeleteHeapify,
+        1,
+        FaultAction::Panic,
+    ));
+    let platform = CpuPlatform::new(o.max_nodes + 1).with_faults(plan);
+    let q: CpuBgpq<u32, ()> = CpuBgpq::on_platform(platform, o);
+    for i in 0..16u32 {
+        q.insert_batch(&[Entry::new(i, ()), Entry::new(i + 100, ())]);
+    }
+    let mut out = Vec::new();
+    let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        for _ in 0..16 {
+            q.delete_min_batch(&mut out, 2);
+        }
+    }));
+    assert!(r.is_err(), "injected panic must surface");
+    assert!(q.inner().is_poisoned());
+    // The min hint is parked at "empty" so shard fronts stop sampling it.
+    assert_eq!(q.inner().min_hint_bits(), u64::MAX);
+}

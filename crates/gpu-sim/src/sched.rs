@@ -449,6 +449,13 @@ impl SimWorker {
         let mut inner = sched.inner.lock();
         inner.vtime[self.id] += cycles;
         inner.metrics.advances += 1;
+        // An unwinding agent on an already-poisoned run must not re-enter
+        // the grant protocol: `wait_for_grant` panics on poison, and a
+        // second panic while unwinding aborts the process. Time still
+        // advances; the agent retires in `Drop`.
+        if inner.poisoned && std::thread::panicking() {
+            return;
+        }
         // Fast path: still the minimum → keep running, no switch.
         // Disabled under schedule fuzzing so ties reshuffle.
         let my_t = inner.vtime[self.id];
@@ -526,6 +533,20 @@ impl SimWorker {
     /// Release `lock`, handing it to the oldest waiter (whose clock jumps
     /// to the release time plus the handoff cost).
     pub fn unlock(&mut self, lock: LockId, atomic_cycles: u64) {
+        if std::thread::panicking() {
+            let sched = Arc::clone(&self.sched);
+            let mut inner = sched.inner.lock();
+            if inner.poisoned {
+                // Teardown release on a dead run: every surviving thread
+                // is being woken to unwind anyway, so a best-effort clear
+                // (no handoff, no grant protocol) is enough — and the
+                // normal path's `wait_for_grant` would double-panic.
+                if inner.locks[lock].holder == Some(self.id) {
+                    inner.locks[lock].holder = None;
+                }
+                return;
+            }
+        }
         self.advance(atomic_cycles);
         let sched = Arc::clone(&self.sched);
         let mut inner = sched.inner.lock();
@@ -604,20 +625,59 @@ impl SimWorker {
 }
 
 impl Drop for SimWorker {
-    /// An unwinding agent must not strand the others: poison the run and
-    /// release everyone so their threads can observe it and unwind too.
+    /// Fail-stop retirement of an agent that unwound without `finish`.
+    ///
+    /// The agent is purged from every waiter queue and each lock it still
+    /// holds is handed to its oldest waiter with normal handoff
+    /// accounting, so the *rest of the run keeps executing* — survivors
+    /// observe the crash at the data-structure level (queue poisoning, a
+    /// watchdog timeout), which is exactly what the crash drills
+    /// exercise. Only an already-poisoned run (deadlock detection, or a
+    /// previous hard abort) skips the release and merely retires.
     fn drop(&mut self) {
-        if self.started && !self.finished {
-            let sched = Arc::clone(&self.sched);
-            let mut inner = sched.inner.lock();
-            inner.poisoned = true;
-            inner.status[self.id] = Status::Done;
-            inner.live = inner.live.saturating_sub(1);
-            if inner.last_running == Some(self.id) {
-                inner.last_running = None;
-            }
-            sched.dispatch(&mut inner);
+        if !self.started || self.finished {
+            return;
         }
+        let sched = Arc::clone(&self.sched);
+        let mut inner = sched.inner.lock();
+        let me = self.id;
+        if !inner.poisoned {
+            let now = inner.vtime[me];
+            let handoff = sched.lock_handoff_cycles;
+            for lock in 0..inner.locks.len() {
+                inner.locks[lock].waiters.retain(|&(a, _)| a != me);
+            }
+            for lock in 0..inner.locks.len() {
+                if inner.locks[lock].holder != Some(me) {
+                    continue;
+                }
+                Scheduler::trace(&mut inner, me, TraceKind::LockReleased(lock));
+                match inner.locks[lock].waiters.pop_front() {
+                    Some((next, enq_t)) => {
+                        inner.locks[lock].holder = Some(next);
+                        let resume = now.max(enq_t) + handoff;
+                        inner.metrics.lock_wait_cycles += resume.saturating_sub(enq_t);
+                        inner.vtime[next] = inner.vtime[next].max(resume);
+                        Scheduler::push_ready(&mut inner, next);
+                    }
+                    None => inner.locks[lock].holder = None,
+                }
+            }
+        }
+        inner.status[me] = Status::Done;
+        Scheduler::trace(&mut inner, me, TraceKind::Finished);
+        inner.live = inner.live.saturating_sub(1);
+        if inner.last_running == Some(me) {
+            inner.last_running = None;
+        }
+        // `dispatch` can detect a deadlock *caused by this death* (e.g.
+        // the dead agent never reached a barrier its peers wait at) and
+        // panic. We may already be unwinding — a second panic escaping a
+        // destructor aborts — so contain it; `dispatch` has already
+        // poisoned the run and woken every parked thread in that case.
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            sched.dispatch(&mut inner);
+        }));
     }
 }
 
@@ -839,6 +899,92 @@ mod tests {
         assert!(result.is_err());
         assert!(*panics.lock() >= 1);
         panic!("deadlock was detected as expected");
+    }
+
+    #[test]
+    fn dead_agents_locks_are_handed_off() {
+        // Agent 0 dies (unwinds without finish) while holding the lock
+        // agent 1 waits on. Fail-stop: the lock is handed over and the
+        // survivor completes; the run is NOT poisoned.
+        let sched = Scheduler::new(2);
+        let l = sched.create_locks(1);
+        let survivor_done = Mutex::new(false);
+        std::thread::scope(|s| {
+            {
+                let mut w = sched.worker(0);
+                s.spawn(move || {
+                    let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        w.begin();
+                        w.lock(l, 1);
+                        w.advance(100);
+                        panic!("injected agent death");
+                    }));
+                    assert!(r.is_err());
+                    drop(w); // retire via Drop, lock still held
+                });
+            }
+            {
+                let mut w = sched.worker(1);
+                let survivor_done = &survivor_done;
+                s.spawn(move || {
+                    w.begin();
+                    w.advance(10);
+                    w.lock(l, 1); // parked behind the dying agent
+                    w.advance(5);
+                    w.unlock(l, 1);
+                    w.finish();
+                    *survivor_done.lock() = true;
+                });
+            }
+        });
+        assert!(*survivor_done.lock(), "survivor must complete after handoff");
+        // Handoff accounting ran: the survivor resumed at or after the
+        // dead agent's release time plus the handoff cost.
+        assert!(sched.makespan() >= 100 + 200, "makespan {}", sched.makespan());
+    }
+
+    #[test]
+    fn dead_agent_is_purged_from_waiter_queues() {
+        // Agent 1 dies while *waiting* for a lock; the holder's later
+        // release must not hand the lock to a corpse.
+        let sched = Scheduler::new(3);
+        let l = sched.create_locks(1);
+        std::thread::scope(|s| {
+            {
+                let mut w = sched.worker(0);
+                s.spawn(move || {
+                    w.begin();
+                    w.lock(l, 1);
+                    w.advance(10_000); // hold long enough for both to queue up
+                    w.unlock(l, 1);
+                    w.finish();
+                });
+            }
+            {
+                let mut w = sched.worker(1);
+                s.spawn(move || {
+                    let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        w.begin();
+                        w.advance(10);
+                        w.try_lock(l, 1); // contended: fails
+                        panic!("death before ever holding the lock");
+                    }));
+                    assert!(r.is_err());
+                    drop(w);
+                });
+            }
+            {
+                let mut w = sched.worker(2);
+                s.spawn(move || {
+                    w.begin();
+                    w.advance(20);
+                    w.lock(l, 1); // must be granted despite the corpse
+                    w.unlock(l, 1);
+                    w.finish();
+                });
+            }
+        });
+        assert!(sched.makespan() >= 10_000);
     }
 
     #[test]

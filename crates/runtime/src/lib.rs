@@ -17,11 +17,22 @@
 //! * [`SimPlatform`] — locks and costs delegated to the `gpu-sim`
 //!   virtual-time scheduler. Used to reproduce the paper's performance
 //!   figures on hardware without a GPU (see DESIGN.md §2).
+//!
+//! Both accept failure hardening that is off by default:
+//!
+//! * [`FaultPlan`] — a seeded, deterministic schedule of one-shot faults
+//!   (panic / stall / delay) executed at named [`InjectionPoint`]s the
+//!   heap threads through its critical sections (crash drills);
+//! * the CPU platform's lock watchdog ([`CpuPlatform::with_watchdog`]),
+//!   which turns an acquisition blocked on a dead holder into a
+//!   [`LockFailure`] with a holder/state diagnostic dump.
 
 pub mod cpu;
+pub mod fault;
 pub mod platform;
 pub mod sim;
 
 pub use cpu::{CpuPlatform, CpuWorker};
-pub use platform::Platform;
+pub use fault::{FaultAction, FaultPlan, FaultRule, InjectionPoint};
+pub use platform::{LockFailure, Platform};
 pub use sim::SimPlatform;

@@ -1,6 +1,17 @@
 //! The [`Platform`] trait.
 
+use crate::fault::InjectionPoint;
 use primitives::PrimitiveCost;
+
+/// Why [`Platform::lock_checked`] gave up on an acquisition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LockFailure {
+    /// Lock index that could not be acquired.
+    pub lock: usize,
+    /// Human-readable holder/state diagnostic from the platform (e.g.
+    /// the CPU watchdog's lock-table dump).
+    pub detail: String,
+}
 
 /// Execution environment for the batched heap.
 ///
@@ -12,9 +23,18 @@ use primitives::PrimitiveCost;
 /// # Locking discipline
 ///
 /// `unlock(w, l)` must only be called by the worker that currently holds
-/// `l` via `lock`/`try_lock`. The heap code upholds this by construction
-/// (hand-over-hand traversal); platforms may treat a violation as a
-/// panic.
+/// `l` via `lock`/`try_lock`/`lock_checked`. The heap code upholds this
+/// by construction (hand-over-hand traversal); platforms may treat a
+/// violation as a panic.
+///
+/// # Failure hooks
+///
+/// [`Platform::inject`] and [`Platform::lock_checked`] default to no-op
+/// and plain blocking respectively, so a platform without fault
+/// injection or a watchdog behaves exactly as before. Platforms that
+/// carry a [`crate::FaultPlan`] execute injected faults (including
+/// panics) inside `inject`; the heap places its calls so that an
+/// unwinding worker always knows which locks it holds.
 pub trait Platform: Send + Sync {
     /// Per-thread execution context (e.g. the simulator's agent handle).
     type Worker: Send;
@@ -39,4 +59,27 @@ pub trait Platform: Send + Sync {
     /// collaborating insertion to refill the root, §4.3). Must allow the
     /// awaited event to make progress.
     fn backoff(&self, w: &mut Self::Worker);
+
+    /// A deliberately expensive backoff for spins that have escalated
+    /// past their cheap phase (the waited-on worker looks stalled):
+    /// sleep on real hardware, a large clock jump in the simulator.
+    /// Defaults to [`Platform::backoff`].
+    fn backoff_long(&self, w: &mut Self::Worker) {
+        self.backoff(w);
+    }
+
+    /// Fault-injection hook: called by the heap at each named point of
+    /// its critical sections. Platforms carrying a fault plan stall,
+    /// delay, or panic the worker here; the default is a no-op.
+    fn inject(&self, _w: &mut Self::Worker, _point: InjectionPoint) {}
+
+    /// Acquire `lock` with failure detection, when the platform has
+    /// any: a watchdog-equipped platform returns [`LockFailure`] instead
+    /// of blocking forever on a dead holder. The default is the plain
+    /// blocking [`Platform::lock`] (which can still rely on external
+    /// detection, e.g. the simulator's deadlock detector).
+    fn lock_checked(&self, w: &mut Self::Worker, lock: usize) -> Result<(), LockFailure> {
+        self.lock(w, lock);
+        Ok(())
+    }
 }

@@ -1,5 +1,6 @@
 //! Virtual-time platform backed by the `gpu-sim` scheduler.
 
+use crate::fault::{FaultAction, FaultPlan, InjectionPoint};
 use crate::platform::Platform;
 use gpu_sim::{LockId, Scheduler, SimWorker};
 use primitives::{CostModel, PrimitiveCost};
@@ -12,11 +13,19 @@ use std::sync::Arc;
 /// share it with every block; each block passes its own
 /// [`SimWorker`] — obtained from `BlockCtx::worker()` — as the platform
 /// worker.
+///
+/// A [`FaultPlan`] attached via [`SimPlatform::with_faults`] executes
+/// against the simulator's deterministic schedule, so a rule like "panic
+/// on the 7th `MidInsertHeapify`" faults the same agent at the same
+/// virtual time on every run with the same seed — stalls and delays are
+/// virtual-clock advances, and a schedule-fuzzing seed (`GpuConfig`'s
+/// `fuzz_seed`) picks which agent reaches the nth hit first.
 pub struct SimPlatform {
     base_lock: LockId,
     num_locks: usize,
     cost: CostModel,
     block_dim: u32,
+    faults: Option<Arc<FaultPlan>>,
 }
 
 impl SimPlatform {
@@ -25,7 +34,14 @@ impl SimPlatform {
     pub fn new(sched: &Arc<Scheduler>, n: usize, cost: CostModel, block_dim: u32) -> Self {
         assert!(n >= 1, "need at least one lock");
         let base_lock = sched.create_locks(n);
-        Self { base_lock, num_locks: n, cost, block_dim }
+        Self { base_lock, num_locks: n, cost, block_dim, faults: None }
+    }
+
+    /// Attach a fault-injection plan (crash drills at exact virtual
+    /// times).
+    pub fn with_faults(mut self, plan: Arc<FaultPlan>) -> Self {
+        self.faults = Some(plan);
+        self
     }
 
     /// The cost model used for charging.
@@ -36,6 +52,11 @@ impl SimPlatform {
     /// Simulated threads per block.
     pub fn block_dim(&self) -> u32 {
         self.block_dim
+    }
+
+    /// The attached fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&Arc<FaultPlan>> {
+        self.faults.as_ref()
     }
 }
 
@@ -67,6 +88,27 @@ impl Platform for SimPlatform {
 
     fn backoff(&self, w: &mut SimWorker) {
         w.advance(self.cost.c_spin);
+    }
+
+    fn backoff_long(&self, w: &mut SimWorker) {
+        // An escalated spin models a sleeping wait: one big clock jump
+        // instead of many cheap ones, letting the waited-on agent run.
+        w.advance(self.cost.c_spin * 64);
+    }
+
+    fn inject(&self, w: &mut SimWorker, point: InjectionPoint) {
+        let Some(plan) = self.faults.as_ref() else { return };
+        match plan.check(point) {
+            None => {}
+            Some(FaultAction::Panic) => {
+                panic!("injected fault: panic at {point:?} (vtime {})", w.now())
+            }
+            // Both are virtual-clock advances: a Stall is long enough to
+            // trip bounds, a Delay is a schedule wobble under them.
+            Some(FaultAction::Stall { units }) | Some(FaultAction::Delay { units }) => {
+                w.advance(units);
+            }
+        }
     }
 }
 

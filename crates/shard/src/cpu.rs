@@ -71,6 +71,24 @@ impl<K: KeyType, V: ValueType> CpuShardedBgpq<K, V> {
         &self.inner
     }
 
+    /// Non-panicking insert with sticky affinity: backpressure and
+    /// shard fail-over surface as [`pq_api::QueueError`] values.
+    pub fn try_insert_batch(&self, items: &[Entry<K, V>]) -> Result<(), pq_api::QueueError> {
+        let mut w = CpuWorker;
+        self.inner.try_insert(&mut w, worker_id(), items)
+    }
+
+    /// Non-panicking relaxed delete: `Ok(0)` means every live shard was
+    /// observed empty; `Err(Poisoned)` means no live shard remains.
+    pub fn try_delete_min_batch(
+        &self,
+        out: &mut Vec<Entry<K, V>>,
+        count: usize,
+    ) -> Result<usize, pq_api::QueueError> {
+        let mut w = CpuWorker;
+        with_thread_rng(|rng| self.inner.try_delete_min(&mut w, rng, out, count))
+    }
+
     /// Total items across shards (inherent, so `q.len()` stays
     /// unambiguous even though both queue traits also define `len`).
     pub fn len(&self) -> usize {

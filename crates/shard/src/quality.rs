@@ -28,6 +28,10 @@ pub struct QualityStats {
     /// Exact fallback sweeps over every shard (all sampled shards were
     /// empty at the attempt).
     full_sweeps: AtomicU64,
+    /// Shards taken out of rotation after a failure (poisoned heap or
+    /// lock timeout). Monotone: quarantine is permanent for the life of
+    /// the router.
+    quarantines: AtomicU64,
 }
 
 impl QualityStats {
@@ -56,6 +60,11 @@ impl QualityStats {
         self.full_sweeps.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Record one shard entering quarantine.
+    pub fn record_quarantine(&self) {
+        self.quarantines.fetch_add(1, Ordering::Relaxed);
+    }
+
     pub fn snapshot(&self) -> QualitySnapshot {
         QualitySnapshot {
             deletes: self.deletes.load(Ordering::Relaxed),
@@ -63,6 +72,7 @@ impl QualityStats {
             rank_error_max: self.rank_error_max.load(Ordering::Relaxed),
             steals: self.steals.load(Ordering::Relaxed),
             full_sweeps: self.full_sweeps.load(Ordering::Relaxed),
+            quarantines: self.quarantines.load(Ordering::Relaxed),
         }
     }
 
@@ -73,6 +83,7 @@ impl QualityStats {
         self.rank_error_max.store(0, Ordering::Relaxed);
         self.steals.store(0, Ordering::Relaxed);
         self.full_sweeps.store(0, Ordering::Relaxed);
+        self.quarantines.store(0, Ordering::Relaxed);
     }
 }
 
@@ -84,6 +95,7 @@ pub struct QualitySnapshot {
     pub rank_error_max: u64,
     pub steals: u64,
     pub full_sweeps: u64,
+    pub quarantines: u64,
 }
 
 impl QualitySnapshot {

@@ -22,7 +22,8 @@
 use crate::quality::{QualitySnapshot, QualityStats};
 use bgpq::{Bgpq, BgpqOptions};
 use bgpq_runtime::Platform;
-use pq_api::{Entry, KeyType, OpStats, ValueType};
+use pq_api::{Entry, KeyType, OpStats, QueueError, ValueType};
+use std::sync::atomic::{AtomicBool, Ordering};
 
 /// Configuration of a [`ShardedBgpq`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -83,6 +84,10 @@ pub struct ShardedBgpq<K: KeyType, V: ValueType, P: Platform> {
     shards: Box<[Bgpq<K, V, P>]>,
     sample: usize,
     quality: QualityStats,
+    /// Per-shard quarantine flags: a shard that poisoned itself or hit
+    /// a lock timeout is permanently excluded from routing, sampling
+    /// and sweeps — the surviving shards absorb its traffic.
+    quarantined: Box<[AtomicBool]>,
 }
 
 impl<K: KeyType, V: ValueType, P: Platform> ShardedBgpq<K, V, P> {
@@ -94,10 +99,12 @@ impl<K: KeyType, V: ValueType, P: Platform> ShardedBgpq<K, V, P> {
         assert_eq!(platforms.len(), opts.shards, "one platform per shard");
         let shards: Vec<Bgpq<K, V, P>> =
             platforms.into_iter().map(|p| Bgpq::with_platform(p, opts.queue)).collect();
+        let quarantined = (0..opts.shards).map(|_| AtomicBool::new(false)).collect();
         Self {
             shards: shards.into_boxed_slice(),
             sample: opts.sample.clamp(1, opts.shards),
             quality: QualityStats::new(),
+            quarantined,
         }
     }
 
@@ -126,9 +133,36 @@ impl<K: KeyType, V: ValueType, P: Platform> ShardedBgpq<K, V, P> {
         affinity % self.shards.len()
     }
 
-    /// Total items across shards. Exact at quiescence.
+    /// Whether shard `i` has been taken out of rotation.
+    pub fn is_quarantined(&self, i: usize) -> bool {
+        self.quarantined[i].load(Ordering::Relaxed)
+    }
+
+    /// Number of shards currently quarantined.
+    pub fn quarantined_count(&self) -> usize {
+        self.quarantined.iter().filter(|q| q.load(Ordering::Relaxed)).count()
+    }
+
+    /// Take shard `i` out of rotation (idempotent). Called by the
+    /// routing paths when a shard reports `Poisoned` or `LockTimeout`;
+    /// also available to callers that detect a failure out of band.
+    pub fn quarantine(&self, i: usize) {
+        if !self.quarantined[i].swap(true, Ordering::SeqCst) {
+            self.quality.record_quarantine();
+            OpStats::bump(&self.shards[i].stats().shard_quarantines);
+        }
+    }
+
+    /// Total items across *live* shards. Exact at quiescence. A
+    /// quarantined shard's count is unreliable (it crashed mid-flight)
+    /// and its keys are unreachable, so it is excluded.
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.len()).sum()
+        self.shards
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| !self.is_quarantined(i))
+            .map(|(_, s)| s.len())
+            .sum()
     }
 
     pub fn is_empty(&self) -> bool {
@@ -169,8 +203,45 @@ impl<K: KeyType, V: ValueType, P: Platform> ShardedBgpq<K, V, P> {
     /// Insert a sorted-or-not batch into the shard selected by
     /// `affinity` (callers keep this sticky per worker so consecutive
     /// batches hit the same shard's partial buffer).
+    ///
+    /// Panics on failure; prefer [`ShardedBgpq::try_insert`] when the
+    /// caller wants backpressure and fail-over as values.
     pub fn insert(&self, w: &mut P::Worker, affinity: usize, items: &[Entry<K, V>]) {
-        self.shards[self.shard_for(affinity)].insert(w, items);
+        self.try_insert(w, affinity, items)
+            .unwrap_or_else(|e| panic!("sharded BGPQ insert failed: {e}"));
+    }
+
+    /// Insert with failure handling: route to the affinity shard, and
+    /// if that shard is quarantined — or fails during the attempt —
+    /// redistribute to the next live shard (round robin from the home
+    /// shard, so a dead shard's producers spread over the survivors).
+    ///
+    /// `Err(Full)` is backpressure, not failure: the shard stays live
+    /// (deletes make room) and no key is taken. A shard returning
+    /// `Poisoned` or `LockTimeout` is quarantined and the insert moves
+    /// on; only when every live shard refused does the error surface —
+    /// the last `Full` if any shard was merely full, else `Poisoned`.
+    pub fn try_insert(
+        &self,
+        w: &mut P::Worker,
+        affinity: usize,
+        items: &[Entry<K, V>],
+    ) -> Result<(), QueueError> {
+        let s = self.shards.len();
+        let home = self.shard_for(affinity);
+        let mut full: Option<QueueError> = None;
+        for off in 0..s {
+            let i = (home + off) % s;
+            if self.is_quarantined(i) {
+                continue;
+            }
+            match self.shards[i].try_insert(w, items) {
+                Ok(()) => return Ok(()),
+                Err(e @ QueueError::Full { .. }) => full = Some(e),
+                Err(_) => self.quarantine(i),
+            }
+        }
+        Err(full.unwrap_or(QueueError::Poisoned))
     }
 
     /// Relaxed delete-min: sample `c` shards through `rng`, take up to
@@ -185,25 +256,58 @@ impl<K: KeyType, V: ValueType, P: Platform> ShardedBgpq<K, V, P> {
         out: &mut Vec<Entry<K, V>>,
         count: usize,
     ) -> usize {
+        self.try_delete_min(w, rng, out, count)
+            .unwrap_or_else(|e| panic!("sharded BGPQ delete_min failed: {e}"))
+    }
+
+    /// Relaxed delete-min with failure handling: quarantined shards are
+    /// excluded from sampling, stealing and the exact sweep; a shard
+    /// that fails mid-attempt is quarantined and the delete continues
+    /// on the survivors. `Ok(0)` means every *live* shard was observed
+    /// empty (exact at quiescence); `Err(Poisoned)` means no live shard
+    /// remains.
+    pub fn try_delete_min(
+        &self,
+        w: &mut P::Worker,
+        rng: &mut u64,
+        out: &mut Vec<Entry<K, V>>,
+        count: usize,
+    ) -> Result<usize, QueueError> {
         let s = self.shards.len();
         let start = out.len();
-        if s == 1 {
-            let got = self.shards[0].delete_min(w, out, count);
-            if got > 0 {
-                self.quality.record_delete(&[], 0, out[start].key.to_ordered_bits(), false);
-            }
-            return got;
+        let live: Vec<usize> = (0..s).filter(|&i| !self.is_quarantined(i)).collect();
+        if live.is_empty() {
+            return Err(QueueError::Poisoned);
         }
 
-        // Lock-free routing snapshot: every shard's published root-min.
+        if live.len() == 1 {
+            let i = live[0];
+            return match self.shards[i].try_delete_min(w, out, count) {
+                Ok(got) => {
+                    if got > 0 {
+                        self.quality.record_delete(&[], 0, out[start].key.to_ordered_bits(), false);
+                    }
+                    Ok(got)
+                }
+                Err(_) => {
+                    self.quarantine(i);
+                    Err(QueueError::Poisoned)
+                }
+            };
+        }
+
+        // Lock-free routing snapshot: every shard's published root-min
+        // (a poisoned shard parks its hint at `u64::MAX`, but we route
+        // over the live list regardless).
         let hints: Vec<u64> = self.shards.iter().map(|q| q.min_hint_bits()).collect();
 
-        let mut picks: Vec<usize> = Vec::with_capacity(self.sample);
-        if self.sample >= s {
-            picks.extend(0..s);
+        let c = self.sample.min(live.len());
+        let mut picks: Vec<usize> = Vec::with_capacity(c);
+        if c >= live.len() {
+            picks.extend(live.iter().copied());
         } else {
-            while picks.len() < self.sample {
-                let i = (next_u64(rng) % s as u64) as usize;
+            while picks.len() < c {
+                let i = live[(next_u64(rng) % live.len() as u64) as usize];
                 if !picks.contains(&i) {
                     picks.push(i);
                 }
@@ -211,49 +315,82 @@ impl<K: KeyType, V: ValueType, P: Platform> ShardedBgpq<K, V, P> {
         }
         picks.sort_unstable_by_key(|&i| hints[i]);
 
+        let mut clean_miss = false;
         for (attempt, &i) in picks.iter().enumerate() {
-            let got = self.shards[i].delete_min(w, out, count);
-            if got > 0 {
-                self.quality.record_delete(
-                    &hints,
-                    i,
-                    out[start].key.to_ordered_bits(),
-                    attempt > 0,
-                );
-                return got;
+            match self.shards[i].try_delete_min(w, out, count) {
+                Ok(0) => clean_miss = true,
+                Ok(got) => {
+                    self.quality.record_delete(
+                        &hints,
+                        i,
+                        out[start].key.to_ordered_bits(),
+                        attempt > 0,
+                    );
+                    return Ok(got);
+                }
+                Err(_) => self.quarantine(i),
             }
         }
 
         // Exact fallback: a hint of `u64::MAX` means "empty or never
         // published", so sampled misses do not prove emptiness. Attempt
-        // a real delete on every shard; only a full sweep of misses
-        // reports 0, which at quiescence is precise.
+        // a real delete on every live shard; only a full sweep of
+        // misses reports 0, which at quiescence is precise.
         self.quality.record_full_sweep();
-        for i in 0..s {
-            let got = self.shards[i].delete_min(w, out, count);
-            if got > 0 {
-                self.quality.record_delete(&hints, i, out[start].key.to_ordered_bits(), true);
-                return got;
+        for &i in &live {
+            if self.is_quarantined(i) {
+                continue;
+            }
+            match self.shards[i].try_delete_min(w, out, count) {
+                Ok(0) => clean_miss = true,
+                Ok(got) => {
+                    self.quality.record_delete(&hints, i, out[start].key.to_ordered_bits(), true);
+                    return Ok(got);
+                }
+                Err(_) => self.quarantine(i),
             }
         }
-        0
+        if clean_miss {
+            Ok(0)
+        } else {
+            Err(QueueError::Poisoned)
+        }
     }
 
-    /// Remove every item (shard by shard; the concatenation is sorted
-    /// per shard, not globally). Returns the number drained.
+    /// Remove every item from live shards (shard by shard; the
+    /// concatenation is sorted per shard, not globally). Returns the
+    /// number drained. Quarantined shards are skipped — their contents
+    /// are unreachable by design.
     pub fn drain(&self, w: &mut P::Worker, out: &mut Vec<Entry<K, V>>) -> usize {
-        self.shards.iter().map(|s| s.drain(w, out)).sum()
+        self.shards
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| !self.is_quarantined(i))
+            .map(|(_, s)| s.drain(w, out))
+            .sum()
     }
 
-    /// Discard every item. Returns the number discarded.
+    /// Discard every item in live shards. Returns the number discarded.
     pub fn clear(&self, w: &mut P::Worker) -> usize {
-        self.shards.iter().map(|s| s.clear(w)).sum()
+        self.shards
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| !self.is_quarantined(i))
+            .map(|(_, s)| s.clear(w))
+            .sum()
     }
 
-    /// Check every shard's heap invariants (quiescent callers only).
-    /// Returns the total item count.
+    /// Check every live shard's heap invariants (quiescent callers
+    /// only). Returns the total item count. Quarantined shards are
+    /// skipped: a crashed shard's invariants are void (that is why it
+    /// was quarantined).
     pub fn check_invariants(&self) -> usize {
-        self.shards.iter().map(|s| s.check_invariants()).sum()
+        self.shards
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| !self.is_quarantined(i))
+            .map(|(_, s)| s.check_invariants())
+            .sum()
     }
 }
 
@@ -331,6 +468,106 @@ mod tests {
         assert_eq!(q.delete_min(&mut w, &mut rng, &mut out, 1), 1);
         assert_eq!(out[0].key, 5);
         assert_eq!(q.quality().rank_error_sum, 0, "c = S never skips a smaller shard");
+    }
+
+    #[test]
+    fn quarantined_shard_is_bypassed_for_inserts_and_deletes() {
+        use bgpq_runtime::{CpuPlatform, FaultAction, FaultPlan, InjectionPoint};
+        use std::sync::Arc;
+
+        // Shard 0 gets a fault plan that panics its first insert
+        // heapify; the other shards are healthy.
+        let queue = BgpqOptions { node_capacity: 2, max_nodes: 64, ..Default::default() };
+        let plan = Arc::new(FaultPlan::new().with_rule(
+            InjectionPoint::MidInsertHeapify,
+            1,
+            FaultAction::Panic,
+        ));
+        let platforms: Vec<CpuPlatform> = (0..3)
+            .map(|i| {
+                let p = CpuPlatform::new(queue.max_nodes + 1);
+                if i == 0 {
+                    p.with_faults(plan.clone())
+                } else {
+                    p
+                }
+            })
+            .collect();
+        let q: ShardedBgpq<u32, u32, CpuPlatform> =
+            ShardedBgpq::with_platforms(platforms, ShardedOptions::new(3, 2, queue));
+        let mut w = CpuWorker;
+
+        // Crash shard 0 directly (the router only sees the poisoned
+        // state afterwards, as it would from another thread's crash).
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            for i in 0..32u32 {
+                q.shard(0).insert(&mut w, &[Entry::new(i, 0), Entry::new(i + 100, 0)]);
+            }
+        }));
+        assert!(r.is_err(), "injected panic must fire");
+        assert!(q.shard(0).is_poisoned());
+
+        // Affinity 0 points at the dead shard; try_insert must
+        // redistribute, quarantine it, and succeed on a survivor.
+        q.try_insert(&mut w, 0, &[Entry::new(7u32, 7)]).expect("redistributed insert");
+        assert!(q.is_quarantined(0));
+        assert_eq!(q.quarantined_count(), 1);
+        assert_eq!(q.quality().quarantines, 1);
+        assert_eq!(q.shard(0).stats().snapshot().shard_quarantines, 1);
+        assert_eq!(q.len(), 1, "len counts only live shards");
+
+        // Deletes skip the quarantined shard and drain the survivors.
+        let mut rng = 5u64;
+        let mut out = Vec::new();
+        assert_eq!(q.try_delete_min(&mut w, &mut rng, &mut out, 2).unwrap(), 1);
+        assert_eq!(out[0].key, 7);
+        assert_eq!(q.try_delete_min(&mut w, &mut rng, &mut out, 2).unwrap(), 0);
+        assert_eq!(q.check_invariants(), 0, "invariant sweep skips the quarantined shard");
+    }
+
+    #[test]
+    fn all_shards_quarantined_reports_poisoned() {
+        let q = sharded(2, 1, 4);
+        let mut w = CpuWorker;
+        q.quarantine(0);
+        q.quarantine(1);
+        q.quarantine(1); // idempotent
+        assert_eq!(q.quarantined_count(), 2);
+        assert_eq!(q.quality().quarantines, 2);
+        assert!(matches!(
+            q.try_insert(&mut w, 0, &[Entry::new(1u32, 1)]),
+            Err(QueueError::Poisoned)
+        ));
+        let mut rng = 9u64;
+        let mut out = Vec::new();
+        assert!(matches!(
+            q.try_delete_min(&mut w, &mut rng, &mut out, 1),
+            Err(QueueError::Poisoned)
+        ));
+        assert!(out.is_empty());
+        assert_eq!(q.len(), 0);
+    }
+
+    #[test]
+    fn full_shard_is_backpressure_not_quarantine() {
+        // One tiny shard: filling it must yield Full, leave it live,
+        // and deleting makes room again.
+        let queue = BgpqOptions { node_capacity: 2, max_nodes: 2, ..Default::default() };
+        let platforms = vec![CpuPlatform::new(queue.max_nodes + 1)];
+        let q: ShardedBgpq<u32, u32, CpuPlatform> =
+            ShardedBgpq::with_platforms(platforms, ShardedOptions::new(1, 1, queue));
+        let mut w = CpuWorker;
+        while q.try_insert(&mut w, 0, &[Entry::new(1, 0), Entry::new(2, 0)]).is_ok() {}
+        assert!(matches!(
+            q.try_insert(&mut w, 0, &[Entry::new(3, 0), Entry::new(4, 0)]),
+            Err(QueueError::Full { .. })
+        ));
+        assert_eq!(q.quarantined_count(), 0, "Full must not quarantine");
+        let mut rng = 3u64;
+        let mut out = Vec::new();
+        q.try_delete_min(&mut w, &mut rng, &mut out, 2).unwrap();
+        q.try_insert(&mut w, 0, &[Entry::new(3, 0), Entry::new(4, 0)])
+            .expect("room freed by delete");
     }
 
     #[test]
