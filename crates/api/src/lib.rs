@@ -17,6 +17,9 @@
 //!   implementations so the bench harness can report contention metrics.
 //! * [`QueueError`] — typed failures (`Full`, `Poisoned`, `LockTimeout`)
 //!   returned by the hardened `try_*` queue entry points.
+//! * [`ScratchSlot`] — the type-keyed per-worker parking spot through
+//!   which queue implementations keep their hot-path scratch arenas
+//!   alive between operations (zero steady-state allocations).
 //!
 //! The crate is dependency-free so that substrates (simulator, baselines)
 //! can depend on it without pulling anything else in.
@@ -25,10 +28,12 @@ pub mod entry;
 pub mod error;
 pub mod key;
 pub mod pq;
+pub mod scratch;
 pub mod stats;
 
 pub use entry::Entry;
 pub use error::QueueError;
 pub use key::{KeyType, ValueType};
 pub use pq::{BatchPriorityQueue, ItemwiseBatch, PriorityQueue, QueueFactory};
+pub use scratch::ScratchSlot;
 pub use stats::{OpStats, StatsSnapshot};

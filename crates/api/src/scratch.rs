@@ -1,0 +1,120 @@
+//! Per-worker scratch storage for allocation-free hot paths.
+//!
+//! The batched heap's steady-state operations need a handful of
+//! buffers (a staging batch, merge scratch) whose size depends only on
+//! the node capacity `k`. Allocating them per operation costs more
+//! than the arithmetic they support; sharing them across workers would
+//! reintroduce the contention the per-node locks avoid. So every
+//! platform worker carries a [`ScratchSlot`]: a tiny type-keyed map in
+//! which each *user* of the worker (the heap with its `OpScratch<K, V>`,
+//! the shard router with its index buffers) parks exactly one arena
+//! object between operations.
+//!
+//! The slot is deliberately dumb: it neither knows the arena types nor
+//! their sizing. Users [`take`](ScratchSlot::take) their arena out by
+//! type (so nested users — a router calling into a heap — never alias),
+//! use it exclusively for the duration of one operation, and
+//! [`put`](ScratchSlot::put) it back. A missing entry means "first
+//! operation on this worker" (or an unwind discarded the arena mid-op):
+//! the user allocates once and the slot retains it from then on.
+
+use std::any::Any;
+
+/// A type-keyed parking spot for per-worker scratch arenas.
+///
+/// Holds at most one value per concrete type. Lookups are a linear
+/// scan over a boxed-slice-backed `Vec` — the slot holds one or two
+/// entries in practice, so this beats any hashing scheme.
+#[derive(Default)]
+pub struct ScratchSlot {
+    entries: Vec<Box<dyn Any + Send>>,
+}
+
+impl ScratchSlot {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Remove and return the stored arena of type `T`, if present.
+    /// While taken out, the slot holds no `T` — a reentrant taker sees
+    /// `None` and builds its own, so aliasing is impossible by
+    /// construction.
+    pub fn take<T: Any + Send>(&mut self) -> Option<Box<T>> {
+        let idx = self.entries.iter().position(|e| e.is::<T>())?;
+        let boxed = self.entries.swap_remove(idx);
+        // The position() check guarantees the downcast succeeds.
+        Some(boxed.downcast::<T>().expect("type-checked entry"))
+    }
+
+    /// Park `arena` for the next operation. If an entry of the same
+    /// type is already present (a put without a take — user bug, or a
+    /// recursive user that built a second arena), the *new* value
+    /// replaces it so repeated put/put cannot grow the slot unboundedly.
+    pub fn put<T: Any + Send>(&mut self, arena: Box<T>) {
+        if let Some(existing) = self.entries.iter_mut().find(|e| e.is::<T>()) {
+            *existing = arena;
+        } else {
+            self.entries.push(arena);
+        }
+    }
+
+    /// Number of parked arenas (diagnostics).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+impl std::fmt::Debug for ScratchSlot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ScratchSlot").field("entries", &self.entries.len()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_of_missing_type_is_none() {
+        let mut s = ScratchSlot::new();
+        assert!(s.take::<Vec<u32>>().is_none());
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn roundtrip_retains_capacity() {
+        let mut s = ScratchSlot::new();
+        let mut v: Box<Vec<u32>> = Box::new(Vec::with_capacity(64));
+        v.push(7);
+        s.put(v);
+        let got = s.take::<Vec<u32>>().expect("stored");
+        assert_eq!(got[0], 7);
+        assert!(got.capacity() >= 64);
+        assert!(s.take::<Vec<u32>>().is_none(), "take removes the entry");
+    }
+
+    #[test]
+    fn distinct_types_coexist() {
+        let mut s = ScratchSlot::new();
+        s.put(Box::new(vec![1u32]));
+        s.put(Box::new(vec![2u64]));
+        s.put(Box::new(String::from("x")));
+        assert_eq!(s.len(), 3);
+        assert_eq!(*s.take::<Vec<u64>>().unwrap(), vec![2u64]);
+        assert_eq!(*s.take::<Vec<u32>>().unwrap(), vec![1u32]);
+        assert_eq!(*s.take::<String>().unwrap(), "x");
+    }
+
+    #[test]
+    fn double_put_replaces() {
+        let mut s = ScratchSlot::new();
+        s.put(Box::new(vec![1u32]));
+        s.put(Box::new(vec![2u32, 3]));
+        assert_eq!(s.len(), 1, "same type must not accumulate");
+        assert_eq!(*s.take::<Vec<u32>>().unwrap(), vec![2u32, 3]);
+    }
+}

@@ -1,0 +1,342 @@
+//! Steady-state hot-path microbench: single-thread insert / delete-min
+//! / mixed batch throughput on `CpuPlatform`, at one node capacity `k`.
+//!
+//! This is the perf trajectory for the zero-allocation + branchless
+//! node-primitive work: every phase runs against a preloaded queue so
+//! the numbers reflect the steady state (root cache warm, partial
+//! buffer active, heapifies at working depth), not cold-start behavior.
+//!
+//! * `insert`  — `m` full-batch inserts into a queue preloaded with
+//!   `n` keys (exercises root merge + overflow `SORT_SPLIT` + full
+//!   insert-heapify).
+//! * `delete`  — `m` `delete_min(k)` batches from a queue preloaded
+//!   with `n + m*k` keys (root-cache extraction + delete-heapify).
+//! * `mixed`   — `m` insert+delete pairs at constant occupancy `n`
+//!   (the acceptance workload: both hot paths alternating).
+//!
+//! Each phase is repeated and the median trial is reported. Results
+//! land in `bench_results/hotpath.csv` and `BENCH_hotpath.json`; when
+//! `bench_results/hotpath_baseline.csv` exists (captured with
+//! `--baseline` on a pre-change build), the JSON carries before/after
+//! and the speedup per phase.
+//!
+//! Usage: `hotpath [--scale small|medium|full] [--k K] [--baseline]`
+
+use bench::report::{results_dir, Table};
+use bench::Scale;
+use bgpq::{Bgpq, BgpqOptions};
+use bgpq_runtime::{CpuPlatform, CpuWorker};
+use pq_api::Entry;
+use std::fs;
+use std::io::Write as _;
+use std::time::Instant;
+use workloads::{generate_keys, KeyDist};
+
+const TRIALS: usize = 5;
+
+struct Args {
+    scale: Scale,
+    k: usize,
+    baseline: bool,
+}
+
+fn parse_args() -> Args {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::Medium;
+    let mut k = 1024usize;
+    let mut baseline = false;
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--scale" => {
+                i += 1;
+                scale = argv.get(i).and_then(|s| Scale::parse(s)).unwrap_or_else(|| {
+                    eprintln!("--scale needs small|medium|full");
+                    std::process::exit(2);
+                });
+            }
+            "--k" => {
+                i += 1;
+                k = argv.get(i).and_then(|s| s.parse().ok()).filter(|&k| k >= 2).unwrap_or_else(
+                    || {
+                        eprintln!("--k needs an integer >= 2");
+                        std::process::exit(2);
+                    },
+                );
+            }
+            "--baseline" => baseline = true,
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    Args { scale, k, baseline }
+}
+
+/// (preload keys, measured batches) per scale, scaled so a trial stays
+/// in the hundreds of milliseconds at k = 1024.
+fn sizes(scale: Scale, k: usize) -> (usize, usize) {
+    let (preload_target, batches): (usize, usize) = match scale {
+        Scale::Small => (1 << 14, 64),
+        Scale::Medium => (1 << 18, 1024),
+        Scale::Full => (1 << 20, 8192),
+    };
+    (preload_target.div_ceil(k).max(2) * k, batches)
+}
+
+#[derive(Clone, Copy)]
+struct PhaseResult {
+    ns_per_op: f64,
+    ns_per_key: f64,
+    ops_per_s: f64,
+    keys_per_s: f64,
+}
+
+impl PhaseResult {
+    fn from_elapsed(secs: f64, ops: usize, keys: usize) -> Self {
+        Self {
+            ns_per_op: secs * 1e9 / ops as f64,
+            ns_per_key: secs * 1e9 / keys as f64,
+            ops_per_s: ops as f64 / secs,
+            keys_per_s: keys as f64 / secs,
+        }
+    }
+}
+
+fn build_queue(k: usize, capacity: usize) -> Bgpq<u32, u32, CpuPlatform> {
+    let opts = BgpqOptions::with_capacity_for(k, capacity);
+    let platform = CpuPlatform::new(opts.max_nodes + 1);
+    Bgpq::with_platform(platform, opts)
+}
+
+fn preload(q: &Bgpq<u32, u32, CpuPlatform>, w: &mut CpuWorker, keys: &[u32], k: usize) {
+    let mut batch: Vec<Entry<u32, u32>> = Vec::with_capacity(k);
+    for chunk in keys.chunks(k) {
+        batch.clear();
+        batch.extend(chunk.iter().map(|&key| Entry::new(key, key)));
+        q.insert(w, &batch);
+    }
+}
+
+/// Median-of-trials runner: `run` executes one full timed trial and
+/// returns (elapsed seconds, batch ops, keys moved).
+fn median_trial(mut run: impl FnMut() -> (f64, usize, usize)) -> PhaseResult {
+    let mut trials: Vec<(f64, usize, usize)> = (0..TRIALS).map(|_| run()).collect();
+    trials.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+    let (secs, ops, keys) = trials[TRIALS / 2];
+    PhaseResult::from_elapsed(secs, ops, keys)
+}
+
+fn phase_insert(k: usize, n: usize, m: usize) -> PhaseResult {
+    let init = generate_keys(n, KeyDist::Random, 21);
+    let grow = generate_keys(m * k, KeyDist::Random, 22);
+    median_trial(|| {
+        let q = build_queue(k, n + (m + 9) * k);
+        let mut w = CpuWorker::default();
+        preload(&q, &mut w, &init, k);
+        let mut batch: Vec<Entry<u32, u32>> = Vec::with_capacity(k);
+        // Warmup outside the timed window (scratch sizing, page touch).
+        for chunk in grow[..(8 * k).min(grow.len())].chunks(k) {
+            batch.clear();
+            batch.extend(chunk.iter().map(|&key| Entry::new(key, key)));
+            q.insert(&mut w, &batch);
+        }
+        let t0 = Instant::now();
+        for chunk in grow.chunks(k) {
+            batch.clear();
+            batch.extend(chunk.iter().map(|&key| Entry::new(key, key)));
+            q.insert(&mut w, &batch);
+        }
+        (t0.elapsed().as_secs_f64(), m, m * k)
+    })
+}
+
+fn phase_delete(k: usize, n: usize, m: usize) -> PhaseResult {
+    let init = generate_keys(n + m * k, KeyDist::Random, 23);
+    median_trial(|| {
+        let q = build_queue(k, init.len() + k);
+        let mut w = CpuWorker::default();
+        preload(&q, &mut w, &init, k);
+        let mut out: Vec<Entry<u32, u32>> = Vec::with_capacity((m + 8) * k);
+        for _ in 0..8 {
+            q.delete_min(&mut w, &mut out, k);
+        }
+        out.clear();
+        let t0 = Instant::now();
+        for _ in 0..m {
+            q.delete_min(&mut w, &mut out, k);
+        }
+        let secs = t0.elapsed().as_secs_f64();
+        let keys = out.len();
+        (secs, m, keys)
+    })
+}
+
+fn phase_mixed(k: usize, n: usize, m: usize) -> PhaseResult {
+    let init = generate_keys(n, KeyDist::Random, 24);
+    let flow = generate_keys(m * k, KeyDist::Random, 25);
+    median_trial(|| {
+        let q = build_queue(k, n + 2 * k);
+        let mut w = CpuWorker::default();
+        preload(&q, &mut w, &init, k);
+        let mut batch: Vec<Entry<u32, u32>> = Vec::with_capacity(k);
+        let mut out: Vec<Entry<u32, u32>> = Vec::with_capacity(k);
+        let mut pairs = 0usize;
+        let mut keys = 0usize;
+        for chunk in flow[..(8 * k).min(flow.len())].chunks(k) {
+            batch.clear();
+            batch.extend(chunk.iter().map(|&key| Entry::new(key, key)));
+            q.insert(&mut w, &batch);
+            out.clear();
+            q.delete_min(&mut w, &mut out, k);
+        }
+        let t0 = Instant::now();
+        for chunk in flow.chunks(k) {
+            batch.clear();
+            batch.extend(chunk.iter().map(|&key| Entry::new(key, key)));
+            q.insert(&mut w, &batch);
+            out.clear();
+            keys += chunk.len() + q.delete_min(&mut w, &mut out, k);
+            pairs += 1;
+        }
+        // 2 queue ops per pair.
+        (t0.elapsed().as_secs_f64(), 2 * pairs, keys)
+    })
+}
+
+const PHASES: [&str; 3] = ["insert", "delete", "mixed"];
+
+fn baseline_path() -> std::path::PathBuf {
+    results_dir().join("hotpath_baseline.csv")
+}
+
+/// Parse `phase,ns_per_op,ns_per_key,ops_per_s,keys_per_s` rows. The
+/// first line tags the configuration the baseline was captured at; a
+/// baseline from a different scale/k is not comparable and is ignored.
+fn read_baseline(scale: Scale, k: usize) -> Option<Vec<(String, PhaseResult)>> {
+    let text = fs::read_to_string(baseline_path()).ok()?;
+    let tag = format!("# scale={scale:?},k={k}");
+    if text.lines().next() != Some(tag.as_str()) {
+        eprintln!("note: ignoring baseline captured at a different scale/k");
+        return None;
+    }
+    let mut rows = Vec::new();
+    for line in text.lines().skip(2) {
+        let f: Vec<&str> = line.split(',').collect();
+        if f.len() != 5 {
+            continue;
+        }
+        let num = |i: usize| f[i].parse::<f64>().ok();
+        rows.push((
+            f[0].to_string(),
+            PhaseResult {
+                ns_per_op: num(1)?,
+                ns_per_key: num(2)?,
+                ops_per_s: num(3)?,
+                keys_per_s: num(4)?,
+            },
+        ));
+    }
+    Some(rows)
+}
+
+fn json_phase(out: &mut String, name: &str, r: &PhaseResult) {
+    out.push_str(&format!(
+        "    \"{name}\": {{\"ns_per_op\": {:.1}, \"ns_per_key\": {:.3}, \
+         \"ops_per_s\": {:.1}, \"keys_per_s\": {:.1}}}",
+        r.ns_per_op, r.ns_per_key, r.ops_per_s, r.keys_per_s
+    ));
+}
+
+fn main() {
+    let args = parse_args();
+    let (n, m) = sizes(args.scale, args.k);
+    eprintln!(
+        "hotpath: scale {:?}, k = {}, preload = {} keys, {} measured batches, {} trials",
+        args.scale, args.k, n, m, TRIALS
+    );
+
+    let results: Vec<(&str, PhaseResult)> = vec![
+        ("insert", phase_insert(args.k, n, m)),
+        ("delete", phase_delete(args.k, n, m)),
+        ("mixed", phase_mixed(args.k, n, m)),
+    ];
+
+    let dir = results_dir();
+    fs::create_dir_all(&dir).expect("create bench_results");
+
+    if args.baseline {
+        let mut f = fs::File::create(baseline_path()).expect("write baseline");
+        writeln!(f, "# scale={:?},k={}", args.scale, args.k).unwrap();
+        writeln!(f, "phase,ns_per_op,ns_per_key,ops_per_s,keys_per_s").unwrap();
+        for (name, r) in &results {
+            writeln!(
+                f,
+                "{name},{:.1},{:.3},{:.1},{:.1}",
+                r.ns_per_op, r.ns_per_key, r.ops_per_s, r.keys_per_s
+            )
+            .unwrap();
+        }
+        eprintln!("baseline written to {}", baseline_path().display());
+    }
+
+    let base = read_baseline(args.scale, args.k);
+    let mut t = Table::new("hotpath", &["phase", "ns/op", "ns/key", "ops/s", "keys/s", "speedup"]);
+    for (name, r) in &results {
+        let speedup = base
+            .as_ref()
+            .and_then(|b| b.iter().find(|(p, _)| p == name))
+            .map(|(_, b)| format!("{:.2}", b.ns_per_op / r.ns_per_op))
+            .unwrap_or_else(|| "-".into());
+        t.row(vec![
+            name.to_string(),
+            format!("{:.1}", r.ns_per_op),
+            format!("{:.3}", r.ns_per_key),
+            format!("{:.1}", r.ops_per_s),
+            format!("{:.1}", r.keys_per_s),
+            speedup,
+        ]);
+    }
+    t.print();
+    t.write_csv(&dir).expect("write csv");
+
+    // BENCH_hotpath.json: machine-readable before/after for the perf
+    // trajectory across PRs.
+    let mut json = String::from("{\n");
+    json.push_str(&format!(
+        "  \"bench\": \"hotpath\",\n  \"scale\": \"{:?}\",\n  \"k\": {},\n  \
+         \"preload_keys\": {},\n  \"measured_batches\": {},\n",
+        args.scale, args.k, n, m
+    ));
+    json.push_str("  \"after\": {\n");
+    for (i, (name, r)) in results.iter().enumerate() {
+        json_phase(&mut json, name, r);
+        json.push_str(if i + 1 < results.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  }");
+    if let Some(b) = &base {
+        json.push_str(",\n  \"before\": {\n");
+        let rows: Vec<&(String, PhaseResult)> =
+            PHASES.iter().filter_map(|p| b.iter().find(|(n2, _)| n2 == p)).collect();
+        for (i, (name, r)) in rows.iter().enumerate() {
+            json_phase(&mut json, name, r);
+            json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+        }
+        json.push_str("  },\n  \"speedup\": {\n");
+        for (i, (name, r)) in results.iter().enumerate() {
+            if let Some((_, before)) = b.iter().find(|(p, _)| p == name) {
+                json.push_str(&format!(
+                    "    \"{name}\": {:.3}{}",
+                    before.ns_per_op / r.ns_per_op,
+                    if i + 1 < results.len() { ",\n" } else { "\n" }
+                ));
+            }
+        }
+        json.push_str("  }");
+    }
+    json.push_str("\n}\n");
+    fs::write("BENCH_hotpath.json", &json).expect("write BENCH_hotpath.json");
+    eprintln!("wrote bench_results/hotpath.csv and BENCH_hotpath.json");
+}

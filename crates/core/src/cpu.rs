@@ -2,7 +2,7 @@
 
 use crate::heap::Bgpq;
 use crate::options::BgpqOptions;
-use bgpq_runtime::{CpuPlatform, CpuWorker, Platform};
+use bgpq_runtime::{with_thread_worker, CpuPlatform, Platform};
 use pq_api::{BatchPriorityQueue, Entry, KeyType, QueueError, QueueFactory, ValueType};
 
 /// BGPQ running on [`CpuPlatform`] (real `parking_lot` locks, real
@@ -25,10 +25,7 @@ impl<K: KeyType, V: ValueType> CpuBgpq<K, V> {
     /// locks.
     pub fn on_platform(platform: CpuPlatform, opts: BgpqOptions) -> Self {
         opts.validate();
-        assert!(
-            platform.num_locks() > opts.max_nodes,
-            "platform has too few locks for max_nodes"
-        );
+        assert!(platform.num_locks() > opts.max_nodes, "platform has too few locks for max_nodes");
         Self { inner: Bgpq::with_platform(platform, opts) }
     }
 
@@ -47,8 +44,7 @@ impl<K: KeyType, V: ValueType> CpuBgpq<K, V> {
     /// failure ([`QueueError::Poisoned`] / [`QueueError::LockTimeout`])
     /// surface as errors; on any `Err` no key was taken.
     pub fn try_insert_batch(&self, items: &[Entry<K, V>]) -> Result<(), QueueError> {
-        let mut w = CpuWorker;
-        self.inner.try_insert(&mut w, items)
+        with_thread_worker(|w| self.inner.try_insert(w, items))
     }
 
     /// Non-panicking delete: failures surface as errors; on `Err`,
@@ -58,8 +54,7 @@ impl<K: KeyType, V: ValueType> CpuBgpq<K, V> {
         out: &mut Vec<Entry<K, V>>,
         count: usize,
     ) -> Result<usize, QueueError> {
-        let mut w = CpuWorker;
-        self.inner.try_delete_min(&mut w, out, count)
+        with_thread_worker(|w| self.inner.try_delete_min(w, out, count))
     }
 }
 
@@ -69,13 +64,11 @@ impl<K: KeyType, V: ValueType> BatchPriorityQueue<K, V> for CpuBgpq<K, V> {
     }
 
     fn insert_batch(&self, items: &[Entry<K, V>]) {
-        let mut w = CpuWorker;
-        self.inner.insert(&mut w, items);
+        with_thread_worker(|w| self.inner.insert(w, items));
     }
 
     fn delete_min_batch(&self, out: &mut Vec<Entry<K, V>>, count: usize) -> usize {
-        let mut w = CpuWorker;
-        self.inner.delete_min(&mut w, out, count)
+        with_thread_worker(|w| self.inner.delete_min(w, out, count))
     }
 
     fn len(&self) -> usize {

@@ -22,11 +22,12 @@
 
 use crate::history::{HistoryEvent, HistoryOp, HistoryRecorder};
 use crate::options::BgpqOptions;
+use crate::scratch::OpScratch;
 use crate::storage::{NodeState, NodeStorage, PBUFFER};
 use crate::tree::{next_on_path, ROOT};
 use bgpq_runtime::{InjectionPoint, Platform};
 use pq_api::{Entry, KeyType, OpStats, QueueError, ValueType};
-use primitives::{sort_split, sort_split_full, PrimitiveCost};
+use primitives::{merge_into, sort_split, sort_split_full, PrimitiveCost};
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 
 /// Spin iterations before a collaboration wait escalates from the cheap
@@ -313,20 +314,28 @@ impl<K: KeyType, V: ValueType, P: Platform> Bgpq<K, V, P> {
         I: IntoIterator<Item = Entry<K, V>>,
     {
         let k = self.opts.node_capacity;
-        let mut batch: Vec<Entry<K, V>> = Vec::with_capacity(k);
+        // One scratch take for the whole iterator: every batch reuses
+        // the worker's staging buffer (`stage`, detached so it can
+        // coexist with the arena borrow inside each insert).
+        let mut s = self.take_scratch(w);
+        let mut batch = std::mem::take(&mut s.stage);
+        batch.clear();
         let mut n = 0;
         for e in items {
             batch.push(e);
             if batch.len() == k {
-                self.insert(w, &batch);
+                self.insert_with(w, &batch, &mut s);
                 n += k;
                 batch.clear();
             }
         }
         if !batch.is_empty() {
             n += batch.len();
-            self.insert(w, &batch);
+            self.insert_with(w, &batch, &mut s);
         }
+        batch.clear();
+        s.stage = batch;
+        self.put_scratch(w, s);
         n
     }
 
@@ -337,7 +346,9 @@ impl<K: KeyType, V: ValueType, P: Platform> Bgpq<K, V, P> {
     pub fn drain(&self, w: &mut P::Worker, out: &mut Vec<Entry<K, V>>) -> usize {
         let start = out.len();
         let k = self.opts.node_capacity;
-        while self.delete_min(w, out, k) > 0 {}
+        let mut s = self.take_scratch(w);
+        while self.delete_min_with(w, out, k, &mut s) > 0 {}
+        self.put_scratch(w, s);
         out.len() - start
     }
 
@@ -345,21 +356,53 @@ impl<K: KeyType, V: ValueType, P: Platform> Bgpq<K, V, P> {
     /// batched heap has no cheaper structural reset that preserves
     /// concurrent safety). Returns the number discarded.
     pub fn clear(&self, w: &mut P::Worker) -> usize {
-        let mut sink = Vec::with_capacity(self.opts.node_capacity);
+        let k = self.opts.node_capacity;
+        let mut s = self.take_scratch(w);
+        let mut sink = std::mem::take(&mut s.stage);
         let mut n = 0;
         loop {
             sink.clear();
-            let got = self.delete_min(w, &mut sink, self.opts.node_capacity);
+            let got = self.delete_min_with(w, &mut sink, k, &mut s);
             if got == 0 {
-                return n;
+                break;
             }
             n += got;
         }
+        sink.clear();
+        s.stage = sink;
+        self.put_scratch(w, s);
+        n
     }
 
     // ------------------------------------------------------------------
     // helpers
     // ------------------------------------------------------------------
+
+    /// Take the worker's operation arena out of its scratch slot (or
+    /// build one on first use / after a panic dropped it), sized for
+    /// this queue's `k`. Taking (moving the `Box` out) rather than
+    /// borrowing lets the heap hold the arena across a [`Crit`] that
+    /// mutably borrows the same worker, and makes nested users (e.g.
+    /// the shard router, which parks its own scratch type in the same
+    /// slot) compose without aliasing.
+    fn take_scratch(&self, w: &mut P::Worker) -> Box<OpScratch<K, V>> {
+        let k = self.opts.node_capacity;
+        match self.platform.scratch_slot(w).take::<OpScratch<K, V>>() {
+            Some(mut s) => {
+                s.reset(k);
+                s
+            }
+            None => Box::new(OpScratch::new(k)),
+        }
+    }
+
+    /// Park the arena back in the worker's slot for the next operation.
+    /// Not called on unwind: a panicking operation drops the taken-out
+    /// arena with its stack, and the next operation re-allocates (the
+    /// queue is poisoned by then anyway).
+    fn put_scratch(&self, w: &mut P::Worker, s: Box<OpScratch<K, V>>) {
+        self.platform.scratch_slot(w).put(s);
+    }
 
     fn begin_insert(&self, items: &[Entry<K, V>]) -> OpCtx<K> {
         OpCtx {
@@ -510,9 +553,33 @@ impl<K: KeyType, V: ValueType, P: Platform> Bgpq<K, V, P> {
     ///
     /// Panics only on misuse (empty or oversized batch).
     pub fn try_insert(&self, w: &mut P::Worker, items: &[Entry<K, V>]) -> Result<(), QueueError> {
+        let mut s = self.take_scratch(w);
+        let r = self.try_insert_with(w, items, &mut s);
+        self.put_scratch(w, s);
+        r
+    }
+
+    /// [`Bgpq::insert`] with a caller-held arena (batched paths like
+    /// [`Bgpq::insert_all`] take the scratch once for many operations).
+    fn insert_with(&self, w: &mut P::Worker, items: &[Entry<K, V>], s: &mut OpScratch<K, V>) {
+        match self.try_insert_with(w, items, s) {
+            Ok(()) => {}
+            Err(QueueError::Full { max_nodes }) => {
+                panic!("BGPQ out of node slots (max_nodes = {max_nodes}); size the queue larger")
+            }
+            Err(e) => panic!("BGPQ insert failed: {e}"),
+        }
+    }
+
+    fn try_insert_with(
+        &self,
+        w: &mut P::Worker,
+        items: &[Entry<K, V>],
+        s: &mut OpScratch<K, V>,
+    ) -> Result<(), QueueError> {
         let mut ctx = self.begin_insert(items);
         let mut c = Crit::new(self, w);
-        self.insert_inner(&mut c, items, &mut ctx)
+        self.insert_inner(&mut c, items, &mut ctx, s)
     }
 
     /// Map a mid-flight insert fault to the API result: after the
@@ -531,19 +598,22 @@ impl<K: KeyType, V: ValueType, P: Platform> Bgpq<K, V, P> {
         c: &mut Crit<'_, K, V, P>,
         items: &[Entry<K, V>],
         ctx: &mut OpCtx<K>,
+        s: &mut OpScratch<K, V>,
     ) -> Result<(), QueueError> {
         let k = self.opts.node_capacity;
         let size = items.len();
         assert!(size >= 1 && size <= k, "insert batch must have 1..=k items, got {size}");
 
-        // Sort the incoming batch (Alg. 1 line 2). `buf` is k slots so
-        // the overflow SORT_SPLIT can deposit a full batch into it.
-        let mut buf: Vec<Entry<K, V>> = Vec::with_capacity(k);
-        buf.extend_from_slice(items);
-        buf.resize(k, Entry::sentinel());
+        // Stage the incoming batch in the worker's arena (Alg. 1
+        // line 2). `buf` is k slots so the overflow SORT_SPLIT can
+        // deposit a full batch into it; arena contents past `size` are
+        // stale from earlier operations and never read before being
+        // overwritten.
+        let buf = &mut s.ins[..k];
+        let scratch = &mut s.merge;
+        buf[..size].copy_from_slice(items);
         c.charge(PrimitiveCost::SortWith { n: size, algo: self.opts.sort_algo });
         buf[..size].sort_unstable();
-        let mut scratch: Vec<Entry<K, V>> = Vec::with_capacity(2 * k);
 
         c.lock_entry(ROOT)?;
         if self.is_poisoned() {
@@ -599,7 +669,7 @@ impl<K: KeyType, V: ValueType, P: Platform> Bgpq<K, V, P> {
             c.charge(PrimitiveCost::SortSplit { na: root_len, nb: size });
             unsafe {
                 let root = self.storage.node_mut(ROOT);
-                sort_split(root, root_len, &mut buf, size, root_len, &mut scratch);
+                sort_split(root, root_len, buf, size, root_len, scratch);
             }
             c.charge(PrimitiveCost::GlobalWrite { n: root_len });
         }
@@ -612,19 +682,12 @@ impl<K: KeyType, V: ValueType, P: Platform> Bgpq<K, V, P> {
             unsafe {
                 let pb = self.storage.node_mut(PBUFFER);
                 // Merge buf[..size] into pb[..buf_len]: both sorted.
+                // Stash the old buffer contents in the arena so the
+                // branchless merge can write pb in place (stable, old
+                // buffer wins ties — same order the scalar loop gave).
                 scratch.clear();
                 scratch.extend_from_slice(&pb[..buf_len]);
-                let mut i = 0;
-                let mut j = 0;
-                for slot in pb.iter_mut().take(buf_len + size) {
-                    *slot = if i < buf_len && (j >= size || scratch[i] <= buf[j]) {
-                        i += 1;
-                        scratch[i - 1]
-                    } else {
-                        j += 1;
-                        buf[j - 1]
-                    };
-                }
+                merge_into(&scratch[..buf_len], &buf[..size], &mut pb[..buf_len + size]);
                 self.storage.meta_mut().buf_len = buf_len + size;
             }
             c.charge(PrimitiveCost::GlobalWrite { n: buf_len + size });
@@ -643,7 +706,7 @@ impl<K: KeyType, V: ValueType, P: Platform> Bgpq<K, V, P> {
             c.charge(PrimitiveCost::SortSplit { na: size, nb: buf_len });
             unsafe {
                 let pb = self.storage.node_mut(PBUFFER);
-                sort_split(&mut buf, size, pb, buf_len, k, &mut scratch);
+                sort_split(buf, size, pb, buf_len, k, scratch);
                 self.storage.meta_mut().buf_len = buf_len + size - k;
             }
             c.charge(PrimitiveCost::GlobalWrite { n: buf_len + size - k });
@@ -680,7 +743,7 @@ impl<K: KeyType, V: ValueType, P: Platform> Bgpq<K, V, P> {
             c.charge(PrimitiveCost::SortSplit { na: k, nb: k });
             // SAFETY: we hold `cur`'s lock; path nodes are full AVAIL.
             unsafe {
-                sort_split_full(self.storage.node_mut(cur), &mut buf, &mut scratch);
+                sort_split_full(self.storage.node_mut(cur), buf, scratch);
             }
             c.charge(PrimitiveCost::GlobalWrite { n: k });
             cur = next_on_path(cur, tar);
@@ -751,11 +814,38 @@ impl<K: KeyType, V: ValueType, P: Platform> Bgpq<K, V, P> {
         out: &mut Vec<Entry<K, V>>,
         count: usize,
     ) -> Result<usize, QueueError> {
+        let mut s = self.take_scratch(w);
+        let r = self.try_delete_min_with(w, out, count, &mut s);
+        self.put_scratch(w, s);
+        r
+    }
+
+    /// [`Bgpq::delete_min`] with a caller-held arena (batched paths
+    /// like [`Bgpq::drain`] and [`Bgpq::clear`] take the scratch once
+    /// for many operations).
+    fn delete_min_with(
+        &self,
+        w: &mut P::Worker,
+        out: &mut Vec<Entry<K, V>>,
+        count: usize,
+        s: &mut OpScratch<K, V>,
+    ) -> usize {
+        self.try_delete_min_with(w, out, count, s)
+            .unwrap_or_else(|e| panic!("BGPQ delete_min failed: {e}"))
+    }
+
+    fn try_delete_min_with(
+        &self,
+        w: &mut P::Worker,
+        out: &mut Vec<Entry<K, V>>,
+        count: usize,
+        s: &mut OpScratch<K, V>,
+    ) -> Result<usize, QueueError> {
         let mut ctx = self.begin_delete(count);
         let start = out.len();
         let r = {
             let mut c = Crit::new(self, w);
-            self.delete_min_inner(&mut c, out, count, &mut ctx)
+            self.delete_min_inner(&mut c, out, count, &mut ctx, s)
         };
         match r {
             Ok(n) => Ok(n),
@@ -820,11 +910,12 @@ impl<K: KeyType, V: ValueType, P: Platform> Bgpq<K, V, P> {
         out: &mut Vec<Entry<K, V>>,
         count: usize,
         ctx: &mut OpCtx<K>,
+        s: &mut OpScratch<K, V>,
     ) -> Result<usize, QueueError> {
         let k = self.opts.node_capacity;
         assert!(count >= 1 && count <= k, "delete batch must request 1..=k items, got {count}");
         let start = out.len();
-        let mut scratch: Vec<Entry<K, V>> = Vec::with_capacity(2 * k);
+        let scratch = &mut s.merge;
 
         c.lock_entry(ROOT)?;
         if self.is_poisoned() {
@@ -935,12 +1026,12 @@ impl<K: KeyType, V: ValueType, P: Platform> Bgpq<K, V, P> {
             unsafe {
                 let root = self.storage.node_mut(ROOT);
                 let pb = self.storage.node_mut(PBUFFER);
-                sort_split(root, k, pb, buf_len, k, &mut scratch);
+                sort_split(root, k, pb, buf_len, k, scratch);
             }
         }
 
         OpStats::bump(&self.stats.delete_heapifies);
-        self.delete_heapify(c, out, start, remained, &mut scratch, ctx)?;
+        self.delete_heapify(c, out, start, remained, scratch, ctx)?;
         Ok(out.len() - start)
     }
 

@@ -37,6 +37,7 @@ pub mod cpu;
 pub mod heap;
 pub mod history;
 pub mod options;
+pub mod scratch;
 pub mod storage;
 pub mod tree;
 
@@ -45,4 +46,5 @@ pub use heap::Bgpq;
 pub use history::{check_history, HistoryEvent, HistoryOp, HistoryViolation};
 pub use options::BgpqOptions;
 pub use pq_api::QueueError;
+pub use scratch::OpScratch;
 pub use storage::NodeState;

@@ -232,7 +232,7 @@ fn drain_returns_everything_sorted() {
         q.insert_batch(&items);
     }
     let mut out = Vec::new();
-    let mut w = CpuWorker;
+    let mut w = CpuWorker::new();
     let n = q.inner().drain(&mut w, &mut out);
     assert_eq!(n, 160);
     assert!(out.windows(2).all(|p| p[0].key <= p[1].key));
@@ -247,7 +247,7 @@ fn clear_empties_the_queue() {
     for i in 0..30u32 {
         q.insert_batch(&[Entry::new(i, ()), Entry::new(i + 100, ())]);
     }
-    let mut w = CpuWorker;
+    let mut w = CpuWorker::new();
     assert_eq!(q.inner().clear(&mut w), 60);
     assert!(q.is_empty());
     assert_eq!(q.inner().check_invariants(), 0);

@@ -22,6 +22,7 @@
 //! never violates causality.
 
 use parking_lot::{Condvar, Mutex};
+use pq_api::ScratchSlot;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 use std::sync::Arc;
@@ -200,7 +201,13 @@ impl Scheduler {
     /// any other operation.
     pub fn worker(self: &Arc<Self>, id: AgentId) -> SimWorker {
         assert!(id < self.cvs.len(), "agent id out of range");
-        SimWorker { id, sched: Arc::clone(self), started: false, finished: false }
+        SimWorker {
+            id,
+            sched: Arc::clone(self),
+            started: false,
+            finished: false,
+            scratch: ScratchSlot::new(),
+        }
     }
 
     /// Snapshot metrics (exact once the run has finished).
@@ -390,6 +397,9 @@ pub struct SimWorker {
     sched: Arc<Scheduler>,
     started: bool,
     finished: bool,
+    /// Parking spot for queue hot-path scratch arenas (zero-allocation
+    /// steady state); owned by the agent, untouched by the scheduler.
+    scratch: ScratchSlot,
 }
 
 impl SimWorker {
@@ -401,6 +411,11 @@ impl SimWorker {
     /// The scheduler this worker belongs to.
     pub fn scheduler(&self) -> &Arc<Scheduler> {
         &self.sched
+    }
+
+    /// The worker's scratch parking spot (see [`ScratchSlot`]).
+    pub fn scratch_slot(&mut self) -> &mut ScratchSlot {
+        &mut self.scratch
     }
 
     /// Register with the scheduler and wait for the first grant. Must be

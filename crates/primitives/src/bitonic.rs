@@ -25,6 +25,14 @@ pub fn step_count(n: usize) -> u32 {
 
 /// Sort `data` ascending with the bitonic network. Panics unless
 /// `data.len()` is a power of two (use [`bitonic_sort_padded`] otherwise).
+///
+/// The compare-exchange is branchless: whether a pair swaps is a
+/// data-dependent coin flip on random input, so instead of a
+/// mispredictable `if` both slots are written unconditionally through a
+/// select on the swap bit — the form that compiles to conditional
+/// moves, exactly like the predicated min/max a GPU lane executes.
+/// [`bitonic_sort_scalar`] keeps the branchy form as the
+/// differential-test oracle.
 pub fn bitonic_sort<T: Ord + Copy>(data: &mut [T]) {
     let n = data.len();
     if n <= 1 {
@@ -44,6 +52,41 @@ pub fn bitonic_sort<T: Ord + Copy>(data: &mut [T]) {
                 let partner = i ^ j;
                 if partner > i {
                     // Ascending block if the k-bit of i is 0.
+                    let ascending = i & k == 0;
+                    // SAFETY: i < n and partner = i ^ j < n because j < k
+                    // <= n and n is a power of two (xor cannot set a bit
+                    // at or above log2(n)).
+                    unsafe {
+                        let a = *data.get_unchecked(i);
+                        let b = *data.get_unchecked(partner);
+                        let swap = (a > b) == ascending;
+                        *data.get_unchecked_mut(i) = if swap { b } else { a };
+                        *data.get_unchecked_mut(partner) = if swap { a } else { b };
+                    }
+                }
+            }
+            j /= 2;
+        }
+        k *= 2;
+    }
+}
+
+/// The same network with the textbook branchy compare-exchange. Kept as
+/// the differential-test oracle for [`bitonic_sort`]; not used on hot
+/// paths.
+pub fn bitonic_sort_scalar<T: Ord + Copy>(data: &mut [T]) {
+    let n = data.len();
+    if n <= 1 {
+        return;
+    }
+    assert!(is_power_of_two(n), "bitonic network requires power-of-two size");
+    let mut k = 2;
+    while k <= n {
+        let mut j = k / 2;
+        while j > 0 {
+            for i in 0..n {
+                let partner = i ^ j;
+                if partner > i {
                     let ascending = i & k == 0;
                     let (a, b) = (data[i], data[partner]);
                     if (a > b) == ascending {
@@ -114,6 +157,17 @@ mod tests {
             expect.sort_unstable();
             bitonic_sort_padded(&mut v, u32::MAX);
             assert_eq!(v, expect, "n={n}");
+        }
+    }
+
+    #[test]
+    fn branchless_network_matches_scalar_oracle() {
+        for n in [2usize, 4, 8, 64, 256] {
+            let mut v: Vec<u32> = (0..n as u32).map(|x| x.wrapping_mul(2654435761) % 97).collect();
+            let mut oracle = v.clone();
+            bitonic_sort(&mut v);
+            bitonic_sort_scalar(&mut oracle);
+            assert_eq!(v, oracle, "n={n}");
         }
     }
 

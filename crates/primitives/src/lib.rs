@@ -25,8 +25,10 @@ pub mod merge_path;
 pub mod radix;
 pub mod sort_split;
 
-pub use bitonic::{bitonic_sort, bitonic_sort_padded, is_power_of_two};
+pub use bitonic::{bitonic_sort, bitonic_sort_padded, bitonic_sort_scalar, is_power_of_two};
 pub use cost::{CostModel, PrimitiveCost, SortAlgo};
-pub use merge_path::{merge_into, merge_path_search, parallel_merge};
+pub use merge_path::{
+    merge_into, merge_into_scalar, merge_into_vec, merge_path_search, parallel_merge,
+};
 pub use radix::{merge_sort, radix_sort, radix_sort_by_key, RadixKey};
 pub use sort_split::{sort_split, sort_split_full, SortSplitResult};

@@ -16,7 +16,7 @@
 //! The common case ("if the range is not specified") operates on two full
 //! nodes of capacity `K` with `Ma = K` — [`sort_split_full`].
 
-use crate::merge_path::merge_into;
+use crate::merge_path::merge_into_vec;
 
 /// Outcome sizes of a [`sort_split`] call.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -35,10 +35,11 @@ pub struct SortSplitResult {
 /// * `ma <= na + nb`, `ma <= z.len()`, and `na + nb - ma <= w.len()`
 ///   (the outputs must fit the buffers).
 /// * `scratch` is caller-provided to keep the hot path allocation-free;
-///   it is resized as needed.
+///   its capacity grows as needed (a warm scratch never reallocates,
+///   and the merge writes into it without zero-initializing).
 ///
 /// Returns the output sizes.
-pub fn sort_split<T: Ord + Copy + Default>(
+pub fn sort_split<T: Ord + Copy>(
     z: &mut [T],
     na: usize,
     w: &mut [T],
@@ -55,9 +56,7 @@ pub fn sort_split<T: Ord + Copy + Default>(
     debug_assert!(z[..na].windows(2).all(|p| p[0] <= p[1]), "Z not sorted");
     debug_assert!(w[..nb].windows(2).all(|p| p[0] <= p[1]), "W not sorted");
 
-    scratch.clear();
-    scratch.resize(total, T::default());
-    merge_into(&z[..na], &w[..nb], &mut scratch[..total]);
+    merge_into_vec(&z[..na], &w[..nb], scratch);
 
     z[..ma].copy_from_slice(&scratch[..ma]);
     w[..mb].copy_from_slice(&scratch[ma..total]);
@@ -67,13 +66,11 @@ pub fn sort_split<T: Ord + Copy + Default>(
 /// `SORT_SPLIT` between two *full* batches of equal capacity — the common
 /// case in the heapify loops (Alg. 1 line 33, Alg. 3 lines 10/12): `a`
 /// keeps the smallest `a.len()` elements, `b` the largest `b.len()`.
-pub fn sort_split_full<T: Ord + Copy + Default>(a: &mut [T], b: &mut [T], scratch: &mut Vec<T>) {
-    let (na, nb) = (a.len(), b.len());
+pub fn sort_split_full<T: Ord + Copy>(a: &mut [T], b: &mut [T], scratch: &mut Vec<T>) {
+    let na = a.len();
     debug_assert!(a.windows(2).all(|p| p[0] <= p[1]), "A not sorted");
     debug_assert!(b.windows(2).all(|p| p[0] <= p[1]), "B not sorted");
-    scratch.clear();
-    scratch.resize(na + nb, T::default());
-    merge_into(a, b, &mut scratch[..]);
+    merge_into_vec(a, b, scratch);
     a.copy_from_slice(&scratch[..na]);
     b.copy_from_slice(&scratch[na..]);
 }

@@ -3,8 +3,8 @@
 //! input, and `SORT_SPLIT` must satisfy the paper's formal postconditions.
 
 use primitives::{
-    bitonic_sort, bitonic_sort_padded, merge_into, merge_path_search, parallel_merge, sort_split,
-    sort_split_full,
+    bitonic_sort, bitonic_sort_padded, bitonic_sort_scalar, merge_into, merge_into_scalar,
+    merge_into_vec, merge_path_search, parallel_merge, sort_split, sort_split_full,
 };
 use proptest::prelude::*;
 
@@ -12,6 +12,48 @@ fn sorted_vec(max_len: usize) -> impl Strategy<Value = Vec<u32>> {
     proptest::collection::vec(any::<u32>(), 0..max_len).prop_map(|mut v| {
         v.sort_unstable();
         v
+    })
+}
+
+/// Sorted runs drawn from a tiny key domain (lots of duplicates) with an
+/// optional tail of `u32::MAX` sentinels — the padding shape the heap's
+/// partial buffer and staged insert batches produce.
+fn sorted_with_sentinels(max_len: usize) -> impl Strategy<Value = Vec<u32>> {
+    (proptest::collection::vec(0u32..64, 0..max_len), 0usize..8).prop_map(|(mut v, pad)| {
+        v.extend(std::iter::repeat_n(u32::MAX, pad));
+        v.sort_unstable();
+        v
+    })
+}
+
+/// Payload-carrying element whose ordering looks only at the key — lets
+/// the differential tests observe tie-breaking (stability), which the
+/// plain `u32` properties cannot.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct Keyed {
+    key: u32,
+    tag: u32,
+}
+
+impl PartialOrd for Keyed {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Keyed {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key.cmp(&other.key)
+    }
+}
+
+fn sorted_keyed(max_len: usize, side: u32) -> impl Strategy<Value = Vec<Keyed>> {
+    proptest::collection::vec(0u32..16, 0..max_len).prop_map(move |mut keys| {
+        keys.sort_unstable();
+        keys.iter()
+            .enumerate()
+            .map(|(i, &key)| Keyed { key, tag: side * 1_000_000 + i as u32 })
+            .collect()
     })
 }
 
@@ -98,6 +140,95 @@ proptest! {
         let mut expect: Vec<u32> = za.iter().chain(wb.iter()).copied().collect();
         expect.sort_unstable();
         prop_assert_eq!(got, expect);
+    }
+
+    // ---- Differential suite: fast kernels vs retained scalar oracles ----
+
+    #[test]
+    fn merge_into_matches_scalar_oracle(
+        a in sorted_with_sentinels(96),
+        b in sorted_with_sentinels(96),
+    ) {
+        let mut fast = vec![0u32; a.len() + b.len()];
+        let mut slow = fast.clone();
+        merge_into(&a, &b, &mut fast);
+        merge_into_scalar(&a, &b, &mut slow);
+        prop_assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn merge_into_preserves_tie_order_of_oracle(
+        a in sorted_keyed(80, 1),
+        b in sorted_keyed(80, 2),
+    ) {
+        // Payloads make tie resolution observable: with only 16 distinct
+        // keys the merge is mostly ties, and the unrolled kernel must
+        // break every one exactly like the oracle (a first, then input
+        // order).
+        let zero = Keyed { key: 0, tag: 0 };
+        let mut fast = vec![zero; a.len() + b.len()];
+        let mut slow = fast.clone();
+        merge_into(&a, &b, &mut fast);
+        merge_into_scalar(&a, &b, &mut slow);
+        prop_assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn merge_into_vec_matches_scalar_oracle_and_stays_warm(
+        a in sorted_with_sentinels(96),
+        b in sorted_with_sentinels(96),
+        c in sorted_with_sentinels(96),
+    ) {
+        let mut out = Vec::new();
+        merge_into_vec(&a, &b, &mut out);
+        let mut slow = vec![0u32; a.len() + b.len()];
+        merge_into_scalar(&a, &b, &mut slow);
+        prop_assert_eq!(&out, &slow);
+
+        // Re-merging something no larger into the warm vector must not
+        // reallocate (the zero-allocation hot path relies on this).
+        let cap = out.capacity();
+        merge_into_vec(&b, &c, &mut out);
+        let mut slow2 = vec![0u32; b.len() + c.len()];
+        merge_into_scalar(&b, &c, &mut slow2);
+        prop_assert_eq!(&out, &slow2);
+        if b.len() + c.len() <= cap {
+            prop_assert_eq!(out.capacity(), cap);
+        }
+    }
+
+    #[test]
+    fn bitonic_matches_scalar_oracle(v in (0u32..=8).prop_flat_map(|e| {
+            proptest::collection::vec(0u32..32, 1usize << e)
+        })) {
+        let mut fast = v.clone();
+        let mut slow = v;
+        bitonic_sort(&mut fast);
+        bitonic_sort_scalar(&mut slow);
+        prop_assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn sort_split_matches_oracle_merge(
+        za in sorted_with_sentinels(64),
+        wb in sorted_with_sentinels(64),
+        frac in 0.0f64..=1.0,
+    ) {
+        let (na, nb) = (za.len(), wb.len());
+        let total = na + nb;
+        let ma = (total as f64 * frac) as usize;
+        let mut z = za.clone();
+        z.resize(na.max(ma), 0);
+        let mut w = wb.clone();
+        w.resize(nb.max(total - ma), 0);
+        let mut scratch = Vec::new();
+        sort_split(&mut z, na, &mut w, nb, ma, &mut scratch);
+
+        // Oracle: scalar merge, then split at ma.
+        let mut merged = vec![0u32; total];
+        merge_into_scalar(&za, &wb, &mut merged);
+        prop_assert_eq!(&z[..ma], &merged[..ma]);
+        prop_assert_eq!(&w[..total - ma], &merged[ma..]);
     }
 
     #[test]

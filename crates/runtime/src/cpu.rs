@@ -4,16 +4,48 @@ use crate::fault::{FaultAction, FaultPlan, InjectionPoint};
 use crate::platform::{LockFailure, Platform};
 use parking_lot::lock_api::RawMutex as RawMutexApi;
 use parking_lot::RawMutex;
+use pq_api::ScratchSlot;
 use primitives::PrimitiveCost;
+use std::cell::RefCell;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-/// Per-thread context for [`CpuPlatform`]. Carries no state — real
-/// threads need none — but keeps the worker-passing discipline uniform
-/// across platforms.
-#[derive(Debug, Default, Clone, Copy)]
-pub struct CpuWorker;
+/// Per-thread context for [`CpuPlatform`]. Real threads need no lock
+/// state (the OS carries it), but the worker owns the [`ScratchSlot`]
+/// in which queue hot paths park their per-worker arenas between
+/// operations — reuse a worker across calls and the steady state
+/// allocates nothing.
+#[derive(Debug, Default)]
+pub struct CpuWorker {
+    scratch: ScratchSlot,
+}
+
+impl CpuWorker {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The scratch parking spot (see [`ScratchSlot`]).
+    pub fn scratch_slot(&mut self) -> &mut ScratchSlot {
+        &mut self.scratch
+    }
+}
+
+thread_local! {
+    static TL_WORKER: RefCell<CpuWorker> = RefCell::new(CpuWorker::new());
+}
+
+/// Run `f` with this thread's shared [`CpuWorker`].
+///
+/// Convenience wrappers whose API has no worker parameter (e.g. the
+/// [`pq_api::BatchPriorityQueue`] impls) route through here so repeated
+/// calls on one thread reuse the same scratch arenas instead of paying
+/// a cold worker per call. Panics if re-entered on the same thread
+/// (queue operations never call back into the wrapper API).
+pub fn with_thread_worker<R>(f: impl FnOnce(&mut CpuWorker) -> R) -> R {
+    TL_WORKER.with(|w| f(&mut w.borrow_mut()))
+}
 
 static THREAD_TICKET: AtomicUsize = AtomicUsize::new(0);
 
@@ -131,6 +163,11 @@ impl Platform for CpuPlatform {
     }
 
     #[inline]
+    fn scratch_slot<'a>(&self, w: &'a mut CpuWorker) -> &'a mut ScratchSlot {
+        &mut w.scratch
+    }
+
+    #[inline]
     fn lock(&self, w: &mut CpuWorker, lock: usize) {
         if self.watchdog.is_some() {
             if let Err(f) = self.lock_checked(w, lock) {
@@ -235,7 +272,7 @@ mod tests {
         std::thread::scope(|s| {
             for _ in 0..4 {
                 s.spawn(|| {
-                    let mut w = CpuWorker;
+                    let mut w = CpuWorker::new();
                     for _ in 0..1000 {
                         p.lock(&mut w, 0);
                         let inside = counter.fetch_add(1, Ordering::SeqCst) + 1;
@@ -252,7 +289,7 @@ mod tests {
     #[test]
     fn try_lock_reports_held() {
         let p = CpuPlatform::new(2);
-        let mut w = CpuWorker;
+        let mut w = CpuWorker::new();
         assert!(p.try_lock(&mut w, 0));
         assert!(!p.try_lock(&mut w, 0), "second try_lock on held lock must fail");
         assert!(p.try_lock(&mut w, 1), "other locks are independent");
@@ -265,19 +302,19 @@ mod tests {
     #[test]
     fn charge_is_free() {
         let p = CpuPlatform::new(1);
-        let mut w = CpuWorker;
+        let mut w = CpuWorker::new();
         p.charge(&mut w, PrimitiveCost::Sort { n: 1 << 20 });
     }
 
     #[test]
     fn watchdog_times_out_with_diagnostics() {
         let p = CpuPlatform::new(3).with_watchdog(Duration::from_millis(30));
-        let mut w = CpuWorker;
+        let mut w = CpuWorker::new();
         p.lock(&mut w, 1);
         p.lock(&mut w, 2);
         std::thread::scope(|s| {
             s.spawn(|| {
-                let mut w2 = CpuWorker;
+                let mut w2 = CpuWorker::new();
                 let err = p.lock_checked(&mut w2, 1).expect_err("must time out");
                 assert_eq!(err.lock, 1);
                 assert!(err.detail.contains("lock 1"), "{}", err.detail);
@@ -296,11 +333,11 @@ mod tests {
     #[test]
     fn watchdog_plain_lock_panics_on_timeout() {
         let p = std::sync::Arc::new(CpuPlatform::new(1).with_watchdog(Duration::from_millis(20)));
-        let mut w = CpuWorker;
+        let mut w = CpuWorker::new();
         p.lock(&mut w, 0);
         let p2 = p.clone();
         let r = std::thread::spawn(move || {
-            let mut w2 = CpuWorker;
+            let mut w2 = CpuWorker::new();
             p2.lock(&mut w2, 0);
         })
         .join();
@@ -318,7 +355,7 @@ mod tests {
                 .with_rule(InjectionPoint::PreLockAcquire, 2, FaultAction::Delay { units: 10 }),
         );
         let p = CpuPlatform::new(1).with_faults(plan.clone());
-        let mut w = CpuWorker;
+        let mut w = CpuWorker::new();
         p.inject(&mut w, InjectionPoint::PreLockAcquire);
         p.inject(&mut w, InjectionPoint::PreLockAcquire);
         p.inject(&mut w, InjectionPoint::PreLockAcquire);
@@ -332,7 +369,7 @@ mod tests {
             Arc::new(FaultPlan::new().with_rule(InjectionPoint::MarkedSpin, 1, FaultAction::Panic));
         let p = CpuPlatform::new(1).with_faults(plan);
         let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            let mut w = CpuWorker;
+            let mut w = CpuWorker::new();
             p.inject(&mut w, InjectionPoint::MarkedSpin);
         }));
         assert!(r.is_err());

@@ -1,6 +1,7 @@
 //! The [`Platform`] trait.
 
 use crate::fault::InjectionPoint;
+use pq_api::ScratchSlot;
 use primitives::PrimitiveCost;
 
 /// Why [`Platform::lock_checked`] gave up on an acquisition.
@@ -41,6 +42,13 @@ pub trait Platform: Send + Sync {
 
     /// Number of locks in the table.
     fn num_locks(&self) -> usize;
+
+    /// The worker's scratch parking spot (see [`ScratchSlot`]). Queue
+    /// hot paths take their per-worker arena out of this slot at
+    /// operation entry and put it back at exit, so the steady state
+    /// performs no heap allocation. Workers own their slot exclusively —
+    /// no synchronization is involved.
+    fn scratch_slot<'a>(&self, w: &'a mut Self::Worker) -> &'a mut ScratchSlot;
 
     /// Acquire lock `lock`, blocking (in real or virtual time).
     fn lock(&self, w: &mut Self::Worker, lock: usize);

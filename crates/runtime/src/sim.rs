@@ -3,6 +3,7 @@
 use crate::fault::{FaultAction, FaultPlan, InjectionPoint};
 use crate::platform::Platform;
 use gpu_sim::{LockId, Scheduler, SimWorker};
+use pq_api::ScratchSlot;
 use primitives::{CostModel, PrimitiveCost};
 use std::sync::Arc;
 
@@ -65,6 +66,11 @@ impl Platform for SimPlatform {
 
     fn num_locks(&self) -> usize {
         self.num_locks
+    }
+
+    #[inline]
+    fn scratch_slot<'a>(&self, w: &'a mut SimWorker) -> &'a mut ScratchSlot {
+        w.scratch_slot()
     }
 
     fn lock(&self, w: &mut SimWorker, lock: usize) {

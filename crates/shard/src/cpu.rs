@@ -9,7 +9,7 @@
 //! fixed thread↔work assignment are reproducible.
 
 use crate::router::{ShardedBgpq, ShardedOptions};
-use bgpq_runtime::{CpuPlatform, CpuWorker};
+use bgpq_runtime::{with_thread_worker, CpuPlatform};
 use pq_api::{BatchPriorityQueue, Entry, KeyType, PriorityQueue, QueueFactory, ValueType};
 use std::cell::Cell;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -74,8 +74,7 @@ impl<K: KeyType, V: ValueType> CpuShardedBgpq<K, V> {
     /// Non-panicking insert with sticky affinity: backpressure and
     /// shard fail-over surface as [`pq_api::QueueError`] values.
     pub fn try_insert_batch(&self, items: &[Entry<K, V>]) -> Result<(), pq_api::QueueError> {
-        let mut w = CpuWorker;
-        self.inner.try_insert(&mut w, worker_id(), items)
+        with_thread_worker(|w| self.inner.try_insert(w, worker_id(), items))
     }
 
     /// Non-panicking relaxed delete: `Ok(0)` means every live shard was
@@ -85,8 +84,7 @@ impl<K: KeyType, V: ValueType> CpuShardedBgpq<K, V> {
         out: &mut Vec<Entry<K, V>>,
         count: usize,
     ) -> Result<usize, pq_api::QueueError> {
-        let mut w = CpuWorker;
-        with_thread_rng(|rng| self.inner.try_delete_min(&mut w, rng, out, count))
+        with_thread_worker(|w| with_thread_rng(|rng| self.inner.try_delete_min(w, rng, out, count)))
     }
 
     /// Total items across shards (inherent, so `q.len()` stays
@@ -106,13 +104,11 @@ impl<K: KeyType, V: ValueType> BatchPriorityQueue<K, V> for CpuShardedBgpq<K, V>
     }
 
     fn insert_batch(&self, items: &[Entry<K, V>]) {
-        let mut w = CpuWorker;
-        self.inner.insert(&mut w, worker_id(), items);
+        with_thread_worker(|w| self.inner.insert(w, worker_id(), items));
     }
 
     fn delete_min_batch(&self, out: &mut Vec<Entry<K, V>>, count: usize) -> usize {
-        let mut w = CpuWorker;
-        with_thread_rng(|rng| self.inner.delete_min(&mut w, rng, out, count))
+        with_thread_worker(|w| with_thread_rng(|rng| self.inner.delete_min(w, rng, out, count)))
     }
 
     fn len(&self) -> usize {

@@ -79,6 +79,19 @@ fn next_u64(state: &mut u64) -> u64 {
     x.wrapping_mul(0x2545F4914F6CDD1D)
 }
 
+/// Per-worker routing scratch: the sampled-delete work lists (live
+/// shards, hint snapshot, sampled picks). Parked in the worker's
+/// [`pq_api::ScratchSlot`] between deletes, alongside the heap's own
+/// arena — distinct types share the slot, so the router taking its
+/// scratch never conflicts with the shard heaps taking theirs inside
+/// the same operation.
+#[derive(Debug, Default)]
+struct RouterScratch {
+    live: Vec<usize>,
+    hints: Vec<u64>,
+    picks: Vec<usize>,
+}
+
 /// `S` BGPQ instances behind a relaxed, sampled router.
 pub struct ShardedBgpq<K: KeyType, V: ValueType, P: Platform> {
     shards: Box<[Bgpq<K, V, P>]>,
@@ -273,9 +286,36 @@ impl<K: KeyType, V: ValueType, P: Platform> ShardedBgpq<K, V, P> {
         out: &mut Vec<Entry<K, V>>,
         count: usize,
     ) -> Result<usize, QueueError> {
+        // Take the routing scratch out of the worker's slot for the
+        // whole delete (the shards' own arenas are a different type in
+        // the same slot). A panicking shard op drops it; the next
+        // delete just rebuilds.
+        let mut rs = self.scratch_slot(w).take::<RouterScratch>().unwrap_or_default();
+        let r = self.try_delete_min_with(w, rng, out, count, &mut rs);
+        self.scratch_slot(w).put(rs);
+        r
+    }
+
+    /// The worker's scratch parking spot, reached through any shard's
+    /// platform (slot storage lives on the worker, not the platform).
+    #[inline]
+    fn scratch_slot<'a>(&self, w: &'a mut P::Worker) -> &'a mut pq_api::ScratchSlot {
+        self.shards[0].platform().scratch_slot(w)
+    }
+
+    fn try_delete_min_with(
+        &self,
+        w: &mut P::Worker,
+        rng: &mut u64,
+        out: &mut Vec<Entry<K, V>>,
+        count: usize,
+        rs: &mut RouterScratch,
+    ) -> Result<usize, QueueError> {
         let s = self.shards.len();
         let start = out.len();
-        let live: Vec<usize> = (0..s).filter(|&i| !self.is_quarantined(i)).collect();
+        let RouterScratch { live, hints, picks } = rs;
+        live.clear();
+        live.extend((0..s).filter(|&i| !self.is_quarantined(i)));
         if live.is_empty() {
             return Err(QueueError::Poisoned);
         }
@@ -299,10 +339,11 @@ impl<K: KeyType, V: ValueType, P: Platform> ShardedBgpq<K, V, P> {
         // Lock-free routing snapshot: every shard's published root-min
         // (a poisoned shard parks its hint at `u64::MAX`, but we route
         // over the live list regardless).
-        let hints: Vec<u64> = self.shards.iter().map(|q| q.min_hint_bits()).collect();
+        hints.clear();
+        hints.extend(self.shards.iter().map(|q| q.min_hint_bits()));
 
         let c = self.sample.min(live.len());
-        let mut picks: Vec<usize> = Vec::with_capacity(c);
+        picks.clear();
         if c >= live.len() {
             picks.extend(live.iter().copied());
         } else {
@@ -321,7 +362,7 @@ impl<K: KeyType, V: ValueType, P: Platform> ShardedBgpq<K, V, P> {
                 Ok(0) => clean_miss = true,
                 Ok(got) => {
                     self.quality.record_delete(
-                        &hints,
+                        hints,
                         i,
                         out[start].key.to_ordered_bits(),
                         attempt > 0,
@@ -337,14 +378,14 @@ impl<K: KeyType, V: ValueType, P: Platform> ShardedBgpq<K, V, P> {
         // a real delete on every live shard; only a full sweep of
         // misses reports 0, which at quiescence is precise.
         self.quality.record_full_sweep();
-        for &i in &live {
+        for &i in live.iter() {
             if self.is_quarantined(i) {
                 continue;
             }
             match self.shards[i].try_delete_min(w, out, count) {
                 Ok(0) => clean_miss = true,
                 Ok(got) => {
-                    self.quality.record_delete(&hints, i, out[start].key.to_ordered_bits(), true);
+                    self.quality.record_delete(hints, i, out[start].key.to_ordered_bits(), true);
                     return Ok(got);
                 }
                 Err(_) => self.quarantine(i),
@@ -408,7 +449,7 @@ mod tests {
     #[test]
     fn routes_inserts_by_affinity() {
         let q = sharded(4, 2, 8);
-        let mut w = CpuWorker;
+        let mut w = CpuWorker::new();
         for a in 0..8usize {
             q.insert(&mut w, a, &[Entry::new(a as u32, 0)]);
         }
@@ -422,7 +463,7 @@ mod tests {
     #[test]
     fn drains_exactly_across_shards() {
         let q = sharded(3, 1, 4);
-        let mut w = CpuWorker;
+        let mut w = CpuWorker::new();
         let mut rng = 7u64;
         for i in 0..60u32 {
             q.insert(&mut w, (i % 3) as usize, &[Entry::new(i, i)]);
@@ -447,7 +488,7 @@ mod tests {
     #[test]
     fn single_shard_is_strict() {
         let q = sharded(1, 1, 4);
-        let mut w = CpuWorker;
+        let mut w = CpuWorker::new();
         let mut rng = 3u64;
         q.insert(&mut w, 0, &[Entry::new(9u32, 0), Entry::new(2, 0), Entry::new(5, 0)]);
         let mut out = Vec::new();
@@ -459,7 +500,7 @@ mod tests {
     #[test]
     fn sampled_delete_prefers_best_hint() {
         let q = sharded(2, 2, 4);
-        let mut w = CpuWorker;
+        let mut w = CpuWorker::new();
         let mut rng = 1u64;
         q.insert(&mut w, 0, &[Entry::new(100u32, 0)]);
         q.insert(&mut w, 1, &[Entry::new(5u32, 0)]);
@@ -495,7 +536,7 @@ mod tests {
             .collect();
         let q: ShardedBgpq<u32, u32, CpuPlatform> =
             ShardedBgpq::with_platforms(platforms, ShardedOptions::new(3, 2, queue));
-        let mut w = CpuWorker;
+        let mut w = CpuWorker::new();
 
         // Crash shard 0 directly (the router only sees the poisoned
         // state afterwards, as it would from another thread's crash).
@@ -528,7 +569,7 @@ mod tests {
     #[test]
     fn all_shards_quarantined_reports_poisoned() {
         let q = sharded(2, 1, 4);
-        let mut w = CpuWorker;
+        let mut w = CpuWorker::new();
         q.quarantine(0);
         q.quarantine(1);
         q.quarantine(1); // idempotent
@@ -556,7 +597,7 @@ mod tests {
         let platforms = vec![CpuPlatform::new(queue.max_nodes + 1)];
         let q: ShardedBgpq<u32, u32, CpuPlatform> =
             ShardedBgpq::with_platforms(platforms, ShardedOptions::new(1, 1, queue));
-        let mut w = CpuWorker;
+        let mut w = CpuWorker::new();
         while q.try_insert(&mut w, 0, &[Entry::new(1, 0), Entry::new(2, 0)]).is_ok() {}
         assert!(matches!(
             q.try_insert(&mut w, 0, &[Entry::new(3, 0), Entry::new(4, 0)]),
@@ -573,7 +614,7 @@ mod tests {
     #[test]
     fn merged_stats_fold_all_shards() {
         let q = sharded(4, 2, 8);
-        let mut w = CpuWorker;
+        let mut w = CpuWorker::new();
         for a in 0..4usize {
             q.insert(&mut w, a, &[Entry::new(1u32, 0), Entry::new(2, 0)]);
         }

@@ -373,7 +373,7 @@ fn sharded_front_quarantines_crashed_shard_and_serves_on() {
         .collect();
     let q: ShardedBgpq<u32, u32, CpuPlatform> =
         ShardedBgpq::with_platforms(platforms, ShardedOptions::new(3, 3, queue));
-    let mut w = bgpq_runtime::CpuWorker;
+    let mut w = bgpq_runtime::CpuWorker::new();
 
     // Fill every shard, then hammer deletes until the fault fires on
     // shard 1. Because deletes route by best hint, the faulty shard is
@@ -391,7 +391,7 @@ fn sharded_front_quarantines_crashed_shard_and_serves_on() {
     let total = q.len();
     let drained = std::thread::scope(|s| {
         s.spawn(|| {
-            let mut w = bgpq_runtime::CpuWorker;
+            let mut w = bgpq_runtime::CpuWorker::new();
             let mut rng = 17u64;
             let mut out = Vec::new();
             let mut n = 0usize;

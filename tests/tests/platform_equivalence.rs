@@ -106,7 +106,7 @@ fn single_agent_schedules_agree_exactly() {
 #[test]
 fn insert_all_splits_into_linearized_batches() {
     let q: CpuBgpq<u32, u32> = CpuBgpq::new(opts());
-    let mut w = CpuWorker;
+    let mut w = CpuWorker::new();
     let n = q.inner().insert_all(&mut w, (0..100u32).map(|k| Entry::new(k, k)));
     assert_eq!(n, 100);
     assert_eq!(q.len(), 100);

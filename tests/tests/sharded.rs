@@ -36,7 +36,7 @@ proptest! {
         seed in 1u64..u64::MAX,
     ) {
         let q = router(shards, sample, 8);
-        let mut w = CpuWorker;
+        let mut w = CpuWorker::new();
         // Quiescent producer phase: batches spread round-robin.
         for (i, chunk) in keys.chunks(8).enumerate() {
             let items: Vec<Entry<u32, u32>> =
@@ -72,7 +72,7 @@ proptest! {
 fn delete_finds_lone_item_in_any_shard() {
     for target in 0..8usize {
         let q = router(8, 1, 4);
-        let mut w = CpuWorker;
+        let mut w = CpuWorker::new();
         q.insert(&mut w, target, &[Entry::new(7u32, 77)]);
         let mut rng = 0x5EED + target as u64;
         let mut out = Vec::new();
