@@ -20,7 +20,7 @@
 //! by merging insertions into it — same asymptotics on the GPU (one
 //! merge-path pass), no ambiguity.
 
-use crate::history::{HistoryEvent, HistoryOp, HistoryRecorder};
+use crate::history::{HistoryEvent, HistoryOp, HistoryRecorder, ProtocolKind};
 use crate::options::BgpqOptions;
 use crate::scratch::OpScratch;
 use crate::storage::{NodeState, NodeStorage, PBUFFER};
@@ -250,6 +250,20 @@ impl<K: KeyType, V: ValueType, P: Platform> Bgpq<K, V, P> {
     /// Drain the recorded linearization history (if enabled).
     pub fn take_history(&self) -> Vec<crate::history::HistoryEvent<K>> {
         self.history.as_ref().map(|h| h.take()).unwrap_or_default()
+    }
+
+    /// Drain the recorded TARGET/MARKED protocol transitions (empty
+    /// unless history recording is enabled). Check with
+    /// [`crate::history::check_collaboration`].
+    pub fn take_protocol(&self) -> Vec<crate::history::ProtocolEvent> {
+        self.history.as_ref().map(|h| h.take_protocol()).unwrap_or_default()
+    }
+
+    #[inline]
+    fn record_protocol(&self, kind: ProtocolKind, node: usize) {
+        if let Some(rec) = self.history.as_ref() {
+            rec.record_protocol(kind, node);
+        }
     }
 
     /// Node capacity `k`.
@@ -726,6 +740,7 @@ impl<K: KeyType, V: ValueType, P: Platform> Bgpq<K, V, P> {
             return self.insert_tail(ctx, e);
         }
         self.storage.set_state(tar, NodeState::Target);
+        self.record_protocol(ProtocolKind::TargetSet, tar);
         c.unlock(tar);
 
         // INSERT_HEAPIFY (Alg. 1 lines 30-34), iteratively. `held` is
@@ -763,21 +778,41 @@ impl<K: KeyType, V: ValueType, P: Platform> Bgpq<K, V, P> {
             }
             c.charge(PrimitiveCost::GlobalWrite { n: k });
             self.storage.set_state(tar, NodeState::Avail);
+            self.record_protocol(ProtocolKind::TargetFilled, tar);
         } else {
             // MARKED: a DELETEMIN is spinning on the root (holding the
             // root lock); refill the root for it (§4.3).
             debug_assert_eq!(self.storage.state(tar), NodeState::Marked);
-            // SAFETY: collaboration-phase ownership of the root entries
-            // and root_len (see storage module docs) — the deleter will
-            // not touch them until it observes AVAIL.
-            unsafe {
-                self.storage.node_mut(ROOT).copy_from_slice(&buf[..k]);
-                self.storage.meta_mut().root_len = k;
+            #[cfg(any(test, feature = "mutations"))]
+            let early_avail =
+                self.opts.mutation == crate::options::Mutation::MarkedHandoffEarlyAvail;
+            #[cfg(not(any(test, feature = "mutations")))]
+            let early_avail = false;
+            if early_avail {
+                // DELIBERATE BUG (schedule-explorer self-test, see
+                // `Mutation::MarkedHandoffEarlyAvail`): publish AVAIL
+                // before the stolen keys land. A deleter scheduled into
+                // the charge below reads a stale root.
+                self.storage.set_state(ROOT, NodeState::Avail);
+                c.charge(PrimitiveCost::GlobalWrite { n: k });
+                unsafe {
+                    self.storage.node_mut(ROOT).copy_from_slice(&buf[..k]);
+                    self.storage.meta_mut().root_len = k;
+                }
+            } else {
+                // SAFETY: collaboration-phase ownership of the root
+                // entries and root_len (see storage module docs) — the
+                // deleter will not touch them until it observes AVAIL.
+                unsafe {
+                    self.storage.node_mut(ROOT).copy_from_slice(&buf[..k]);
+                    self.storage.meta_mut().root_len = k;
+                }
+                c.charge(PrimitiveCost::GlobalWrite { n: k });
+                self.storage.set_state(ROOT, NodeState::Avail);
             }
-            c.charge(PrimitiveCost::GlobalWrite { n: k });
-            self.storage.set_state(ROOT, NodeState::Avail);
             self.storage.set_state(tar, NodeState::Empty);
             OpStats::bump(&self.stats.collaborations);
+            self.record_protocol(ProtocolKind::CollabRefill, tar);
         }
         c.unlock(tar);
         Ok(())
@@ -996,6 +1031,7 @@ impl<K: KeyType, V: ValueType, P: Platform> Bgpq<K, V, P> {
                 // directly (§4.3; footnote 2: we spin holding the root
                 // lock). Bounded: a dead inserter must not wedge us.
                 self.storage.set_state(tar, NodeState::Marked);
+                self.record_protocol(ProtocolKind::MarkedSet, tar);
                 c.unlock(tar);
                 if let Err(e) = self.bounded_wait(c, ROOT, NodeState::Avail) {
                     c.release_all();

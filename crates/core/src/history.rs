@@ -46,17 +46,54 @@ pub struct HistoryEvent<K> {
     pub op: HistoryOp<K>,
 }
 
+/// A TARGET/MARKED collaboration-protocol transition (§4.3), recorded at
+/// the storage state transition itself — not at the root-lock
+/// linearization points — so the key-stealing handshake can be checked
+/// independently of operation results.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProtocolKind {
+    /// An INSERT reserved heap node `node` for its batch
+    /// (`EMPTY → TARGET`).
+    TargetSet,
+    /// A DELETEMIN requested collaboration on its refill node
+    /// (`TARGET → MARKED`); it now spins on the root.
+    MarkedSet,
+    /// The INSERT observed `MARKED`, refilled the root with its batch
+    /// and released the node (`MARKED → EMPTY`, root → `AVAIL`).
+    CollabRefill,
+    /// The INSERT filled its TARGET node normally
+    /// (`TARGET → AVAIL`) — no steal happened.
+    TargetFilled,
+}
+
+/// One recorded protocol transition: `at` is drawn from the recorder's
+/// logical clock, so protocol events are totally ordered with the
+/// invocation/response timestamps of [`HistoryEvent`]s.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProtocolEvent {
+    pub kind: ProtocolKind,
+    /// Heap node index the transition happened on.
+    pub node: usize,
+    /// Logical timestamp (shared clock with `tick`).
+    pub at: u64,
+}
+
 /// Thread-safe event sink attached to a queue under test.
 #[derive(Debug, Default)]
 pub struct HistoryRecorder<K> {
     events: Mutex<Vec<HistoryEvent<K>>>,
+    protocol: Mutex<Vec<ProtocolEvent>>,
     /// Global logical clock for invocation/response timestamps.
     clock: std::sync::atomic::AtomicU64,
 }
 
 impl<K: KeyType> HistoryRecorder<K> {
     pub fn new() -> Self {
-        Self { events: Mutex::new(Vec::new()), clock: std::sync::atomic::AtomicU64::new(0) }
+        Self {
+            events: Mutex::new(Vec::new()),
+            protocol: Mutex::new(Vec::new()),
+            clock: std::sync::atomic::AtomicU64::new(0),
+        }
     }
 
     /// Draw an invocation/response timestamp.
@@ -75,6 +112,85 @@ impl<K: KeyType> HistoryRecorder<K> {
         ev.sort_by_key(|e| e.seq);
         ev
     }
+
+    /// Record one collaboration-protocol transition on `node` (the
+    /// timestamp is drawn internally).
+    pub fn record_protocol(&self, kind: ProtocolKind, node: usize) {
+        let at = self.tick();
+        self.protocol.lock().push(ProtocolEvent { kind, node, at });
+    }
+
+    /// Drain all protocol events in recording order. Per-node order is
+    /// exact: every transition is recorded while holding the lock of the
+    /// node it describes.
+    pub fn take_protocol(&self) -> Vec<ProtocolEvent> {
+        std::mem::take(&mut *self.protocol.lock())
+    }
+}
+
+/// Validate the TARGET/MARKED state machine over a protocol event log:
+/// each node cycles `TargetSet → (MarkedSet → CollabRefill | TargetFilled)`,
+/// with no transition out of sequence. When `complete` is set (the run
+/// finished without crashing and the queue is quiescent), every node
+/// must also have returned to the idle state — in particular, no
+/// DELETEMIN may be left spinning on an unanswered `MarkedSet`. Returns
+/// a description of the first violation, or `None`.
+pub fn check_collaboration(events: &[ProtocolEvent], complete: bool) -> Option<String> {
+    use std::collections::HashMap;
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    enum NodeState {
+        InFlight,
+        Marked,
+    }
+    let mut state: HashMap<usize, NodeState> = HashMap::new();
+    for e in events {
+        let cur = state.get(&e.node).copied();
+        match (e.kind, cur) {
+            (ProtocolKind::TargetSet, None) => {
+                state.insert(e.node, NodeState::InFlight);
+            }
+            (ProtocolKind::TargetSet, Some(s)) => {
+                return Some(format!("node {} re-TARGETed while {s:?} (at {})", e.node, e.at));
+            }
+            (ProtocolKind::MarkedSet, Some(NodeState::InFlight)) => {
+                state.insert(e.node, NodeState::Marked);
+            }
+            (ProtocolKind::MarkedSet, s) => {
+                return Some(format!(
+                    "node {} MARKED without an in-flight TARGET (state {s:?}, at {})",
+                    e.node, e.at
+                ));
+            }
+            (ProtocolKind::CollabRefill, Some(NodeState::Marked)) => {
+                state.remove(&e.node);
+            }
+            (ProtocolKind::CollabRefill, s) => {
+                return Some(format!(
+                    "node {} collaboration refill without MARKED (state {s:?}, at {})",
+                    e.node, e.at
+                ));
+            }
+            (ProtocolKind::TargetFilled, Some(NodeState::InFlight)) => {
+                state.remove(&e.node);
+            }
+            (ProtocolKind::TargetFilled, Some(NodeState::Marked)) => {
+                return Some(format!(
+                    "node {} filled normally despite MARKED — the waiting delete is stranded \
+                     (at {})",
+                    e.node, e.at
+                ));
+            }
+            (ProtocolKind::TargetFilled, None) => {
+                return Some(format!("node {} filled without TARGET (at {})", e.node, e.at));
+            }
+        }
+    }
+    if complete {
+        if let Some((node, s)) = state.iter().min_by_key(|(n, _)| **n) {
+            return Some(format!("node {node} left {s:?} at the end of a complete run"));
+        }
+    }
+    None
 }
 
 /// Failure description from [`check_history`].
@@ -316,6 +432,61 @@ mod tests {
         let b = rec.tick();
         let c = rec.tick();
         assert!(a < b && b < c);
+    }
+
+    fn pe(kind: ProtocolKind, node: usize, at: u64) -> ProtocolEvent {
+        ProtocolEvent { kind, node, at }
+    }
+
+    #[test]
+    fn collaboration_state_machine_accepts_both_outcomes() {
+        let events = vec![
+            pe(ProtocolKind::TargetSet, 4, 0),
+            pe(ProtocolKind::TargetFilled, 4, 1),
+            pe(ProtocolKind::TargetSet, 4, 2),
+            pe(ProtocolKind::MarkedSet, 4, 3),
+            pe(ProtocolKind::CollabRefill, 4, 4),
+            // Interleaved with an independent node.
+            pe(ProtocolKind::TargetSet, 5, 5),
+            pe(ProtocolKind::TargetFilled, 5, 6),
+        ];
+        assert_eq!(check_collaboration(&events, true), None);
+    }
+
+    #[test]
+    fn collaboration_rejects_out_of_sequence_transitions() {
+        let stranded = vec![
+            pe(ProtocolKind::TargetSet, 2, 0),
+            pe(ProtocolKind::MarkedSet, 2, 1),
+            pe(ProtocolKind::TargetFilled, 2, 2),
+        ];
+        assert!(check_collaboration(&stranded, false).unwrap().contains("stranded"));
+        let orphan_mark = vec![pe(ProtocolKind::MarkedSet, 2, 0)];
+        assert!(check_collaboration(&orphan_mark, false).is_some());
+        let orphan_refill =
+            vec![pe(ProtocolKind::TargetSet, 2, 0), pe(ProtocolKind::CollabRefill, 2, 1)];
+        assert!(check_collaboration(&orphan_refill, false).is_some());
+    }
+
+    #[test]
+    fn unanswered_mark_fails_only_complete_runs() {
+        let events = vec![pe(ProtocolKind::TargetSet, 3, 0), pe(ProtocolKind::MarkedSet, 3, 1)];
+        // Truncated (crashed) run: an in-flight handshake is fine.
+        assert_eq!(check_collaboration(&events, false), None);
+        // Quiescent run: the delete would still be spinning.
+        assert!(check_collaboration(&events, true).is_some());
+    }
+
+    #[test]
+    fn recorder_protocol_events_share_the_clock() {
+        let rec = HistoryRecorder::<u32>::new();
+        let before = rec.tick();
+        rec.record_protocol(ProtocolKind::TargetSet, 7);
+        let after = rec.tick();
+        let pv = rec.take_protocol();
+        assert_eq!(pv.len(), 1);
+        assert!(before < pv[0].at && pv[0].at < after);
+        assert!(rec.take_protocol().is_empty(), "take_protocol drains");
     }
 
     #[test]

@@ -43,8 +43,11 @@ pub mod tree;
 
 pub use cpu::{CpuBgpq, CpuBgpqFactory};
 pub use heap::Bgpq;
-pub use history::{check_history, HistoryEvent, HistoryOp, HistoryViolation};
-pub use options::BgpqOptions;
+pub use history::{
+    check_collaboration, check_history, HistoryEvent, HistoryOp, HistoryViolation, ProtocolEvent,
+    ProtocolKind,
+};
+pub use options::{BgpqOptions, Mutation};
 pub use pq_api::QueueError;
 pub use scratch::OpScratch;
 pub use storage::NodeState;

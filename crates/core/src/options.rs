@@ -2,6 +2,25 @@
 
 use primitives::SortAlgo;
 
+/// Deliberately re-introducible protocol bugs, used by the
+/// `bgpq-explore` schedule explorer to prove it can catch real ordering
+/// violations (a verification self-test, never a production switch).
+/// Only honored in test builds or under the `mutations` cargo feature;
+/// [`BgpqOptions::validate`] rejects a non-`None` mutation otherwise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Mutation {
+    /// The correct protocol, unmodified.
+    #[default]
+    None,
+    /// Tear open the §4.3 MARKED-handoff ownership transfer: the
+    /// in-flight INSERT publishes the root `AVAIL` *before* writing the
+    /// stolen keys and `root_len`. A collaborating DELETEMIN scheduled
+    /// into that window observes a stale (typically empty) root and
+    /// under-returns keys — a linearizability violation the explorer
+    /// must find.
+    MarkedHandoffEarlyAvail,
+}
+
 /// Configuration of a [`crate::Bgpq`] instance.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BgpqOptions {
@@ -33,6 +52,9 @@ pub struct BgpqOptions {
     /// model"). Spins escalate to the platform's long backoff well
     /// before this bound, so a merely-slow peer does not trip it.
     pub marked_spin_bound: u64,
+    /// Verification self-test mutation (see [`Mutation`]). Must stay
+    /// [`Mutation::None`] outside schedule-exploration self-tests.
+    pub mutation: Mutation,
 }
 
 impl BgpqOptions {
@@ -52,6 +74,7 @@ impl BgpqOptions {
             use_collaboration: true,
             sort_algo: SortAlgo::Bitonic,
             marked_spin_bound: Self::DEFAULT_MARKED_SPIN_BOUND,
+            mutation: Mutation::None,
         }
     }
 
@@ -64,6 +87,14 @@ impl BgpqOptions {
         assert!(self.node_capacity >= 1, "node capacity must be >= 1");
         assert!(self.max_nodes >= 1, "need at least the root node");
         assert!(self.marked_spin_bound >= 1, "spin bound must be >= 1");
+        // Mutations exist solely so the schedule explorer can prove it
+        // catches protocol bugs; without the self-test cfg the heap would
+        // silently ignore the field — reject instead.
+        #[cfg(not(any(test, feature = "mutations")))]
+        assert!(
+            self.mutation == Mutation::None,
+            "BgpqOptions::mutation requires the `mutations` feature (verification self-tests only)"
+        );
     }
 
     /// Total key capacity of the heap body (excluding the buffer).
@@ -81,6 +112,7 @@ impl Default for BgpqOptions {
             use_collaboration: true,
             sort_algo: SortAlgo::Bitonic,
             marked_spin_bound: Self::DEFAULT_MARKED_SPIN_BOUND,
+            mutation: Mutation::None,
         }
     }
 }

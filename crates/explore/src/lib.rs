@@ -1,0 +1,41 @@
+//! # bgpq-explore — systematic schedule exploration and linearizability
+//! model checking for BGPQ on the deterministic simulator
+//!
+//! The `gpu-sim` scheduler runs exactly one agent at a time and, under a
+//! [`gpu_sim::ScheduleController`], asks an external strategy which
+//! ready agent runs at every contended yield point. That turns the
+//! simulator into a stateless model checker: enumerate schedules,
+//! execute each one for real, and judge every run with the repo's
+//! correctness oracles —
+//!
+//! * **linearizability** ([`bgpq::check_history`]): the recorded
+//!   root-lock linearization order must be a legal sequential history
+//!   consistent with real time;
+//! * **key conservation**: deletes return only keys that were inserted,
+//!   even on crash-truncated histories;
+//! * **collaboration protocol** ([`bgpq::check_collaboration`]): the
+//!   §4.3 TARGET/MARKED handshake never leaves its state machine;
+//! * **quiescent invariants**: heap shape, node sort order, and size
+//!   accounting after a clean run.
+//!
+//! Three exploration modes ([`explore`], [`random_walks`], [`replay`]):
+//! exhaustive DFS with a bounded preemption budget (iterative context
+//! bounding), weighted random walks for larger configurations, and
+//! bit-for-bit replay of a serialized schedule. A failing schedule is
+//! [`fn@shrink`]-minimized (greedy override deletion) and written as a
+//! `.sched` artifact ([`SchedFile`]) that the `explore` CLI's `replay`
+//! subcommand reproduces exactly.
+
+pub mod dfs;
+pub mod run;
+pub mod shrink;
+pub mod spec;
+pub mod strategy;
+
+pub use dfs::{explore, random_walks, Counterexample, ExploreConfig, ExploreReport};
+pub use run::{install_quiet_panic_hook, replay, run_schedule, RunOutcome, Violation};
+pub use shrink::shrink;
+pub use spec::{SchedFile, WorkOp, WorkloadSpec};
+pub use strategy::{
+    default_pick, is_override, overrides_of, OverrideStrategy, PrefixStrategy, RandomWalkStrategy,
+};

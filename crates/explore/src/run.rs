@@ -1,0 +1,288 @@
+//! Execute one workload under one schedule controller and check every
+//! correctness oracle the repo has: linearizability ([`check_history`]),
+//! key conservation, the §4.3 TARGET/MARKED protocol state machine
+//! ([`check_collaboration`]), and structural heap invariants at
+//! quiescence.
+
+use crate::spec::{WorkOp, WorkloadSpec};
+use bgpq::{check_collaboration, check_history, Bgpq, BgpqOptions};
+use bgpq::{HistoryEvent, HistoryOp, ProtocolEvent};
+use bgpq_runtime::{FaultAction, FaultPlan, SimPlatform};
+use gpu_sim::{launch, Decision, GpuConfig, ScheduleController, Scheduler};
+use pq_api::Entry;
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Mutex, Once};
+
+/// Why one explored schedule failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Violation {
+    /// The linearization history has no valid sequential witness.
+    History(String),
+    /// A delete returned a key that was never inserted (or more copies
+    /// than were inserted).
+    Conservation(String),
+    /// The TARGET/MARKED handshake left its state machine.
+    Collaboration(String),
+    /// Quiescent structural check failed (size mismatch or heap
+    /// invariant).
+    Invariant(String),
+    /// The scheduler's deadlock detector fired.
+    Deadlock(String),
+    /// An agent panicked with no fault plan to excuse it.
+    UnexpectedPanic(String),
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Violation::History(s) => write!(f, "linearizability: {s}"),
+            Violation::Conservation(s) => write!(f, "conservation: {s}"),
+            Violation::Collaboration(s) => write!(f, "collaboration protocol: {s}"),
+            Violation::Invariant(s) => write!(f, "quiescent invariant: {s}"),
+            Violation::Deadlock(s) => write!(f, "deadlock: {s}"),
+            Violation::UnexpectedPanic(s) => write!(f, "unexpected panic: {s}"),
+        }
+    }
+}
+
+/// Everything observed from one controlled run.
+#[derive(Debug)]
+pub struct RunOutcome {
+    /// The scheduler's full decision log (replay witness).
+    pub decisions: Vec<Decision>,
+    /// Linearized operations, sorted by sequence number.
+    pub events: Vec<HistoryEvent<u32>>,
+    /// TARGET/MARKED transitions in recording order.
+    pub protocol: Vec<ProtocolEvent>,
+    /// Queue was poisoned by a (planned) crash.
+    pub poisoned: bool,
+    /// Panic message that escaped the launch, if any.
+    pub panic: Option<String>,
+    /// First oracle failure, or `None` for a clean schedule.
+    pub violation: Option<Violation>,
+}
+
+/// Silence panic backtraces for the *expected* panics a fault-injecting
+/// exploration produces in bulk (injected crashes, peer aborts, planned
+/// deadlocks); everything else still reaches the default hook.
+/// Idempotent; callable from parallel tests.
+pub fn install_quiet_panic_hook() {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let default = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let msg = payload_str(info.payload());
+            let expected = ["injected fault", "aborting agent", "gpu-sim: deadlock"]
+                .iter()
+                .any(|pat| msg.contains(pat));
+            if !expected {
+                default(info);
+            }
+        }));
+    });
+}
+
+fn payload_str(payload: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        s
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s
+    } else {
+        "non-string panic payload"
+    }
+}
+
+/// Run `spec` under `ctrl` on the simulator and check every oracle.
+///
+/// The launch geometry is one agent per script. Operation errors
+/// (`Full`, `Poisoned`, watchdog timeouts) fail-stop the affected
+/// block's script — the oracles then judge the truncated history, which
+/// is exactly what they would see after a real crash.
+pub fn run_schedule(spec: &WorkloadSpec, ctrl: Arc<dyn ScheduleController>) -> RunOutcome {
+    type Q = Arc<Bgpq<u32, u32, SimPlatform>>;
+    let cfg = GpuConfig::new(spec.blocks(), 32);
+    let opts = BgpqOptions {
+        node_capacity: spec.k,
+        max_nodes: spec.max_nodes,
+        use_collaboration: spec.use_collaboration,
+        mutation: spec.mutation,
+        ..Default::default()
+    };
+    let stash: Mutex<Option<(Q, Arc<Scheduler>)>> = Mutex::new(None);
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        launch(
+            cfg,
+            |sched| {
+                sched.set_controller(Arc::clone(&ctrl));
+                let mut plat = SimPlatform::new(sched, opts.max_nodes + 1, cfg.cost, cfg.block_dim);
+                if !spec.faults.is_empty() {
+                    plat = plat.with_faults(Arc::new(FaultPlan::from_rules(&spec.faults)));
+                }
+                let q: Q = Arc::new(Bgpq::with_platform(plat, opts).with_history());
+                *stash.lock().unwrap() = Some((Arc::clone(&q), Arc::clone(sched)));
+                q
+            },
+            |ctx, q: &Q| {
+                let mut out: Vec<Entry<u32, u32>> = Vec::new();
+                for op in &spec.scripts[ctx.block_id()] {
+                    let r = match op {
+                        WorkOp::Insert(keys) => {
+                            let items: Vec<Entry<u32, u32>> =
+                                keys.iter().map(|&x| Entry::new(x, x)).collect();
+                            q.try_insert(ctx.worker(), &items).map(|()| 0)
+                        }
+                        WorkOp::DeleteMin(n) => {
+                            out.clear();
+                            q.try_delete_min(ctx.worker(), &mut out, *n)
+                        }
+                    };
+                    if r.is_err() {
+                        return;
+                    }
+                }
+            },
+        );
+    }));
+    let (q, sched) = stash.lock().unwrap().take().expect("setup closure always runs");
+    let decisions = sched.take_decisions();
+    let events = q.take_history();
+    let protocol = q.take_protocol();
+    let poisoned = q.is_poisoned();
+    let panic = result.err().map(|p| payload_str(p.as_ref()).to_string());
+    let complete = panic.is_none() && !poisoned;
+    let violation = classify(spec, &q, &events, &protocol, panic.as_deref(), complete);
+    RunOutcome { decisions, events, protocol, poisoned, panic, violation }
+}
+
+/// Replay a sparse-override schedule (the `.sched` form).
+pub fn replay(spec: &WorkloadSpec, overrides: &[(u64, gpu_sim::AgentId)]) -> RunOutcome {
+    run_schedule(spec, Arc::new(crate::strategy::OverrideStrategy::new(overrides)))
+}
+
+fn classify(
+    spec: &WorkloadSpec,
+    q: &Bgpq<u32, u32, SimPlatform>,
+    events: &[HistoryEvent<u32>],
+    protocol: &[ProtocolEvent],
+    panic: Option<&str>,
+    complete: bool,
+) -> Option<Violation> {
+    if let Some(msg) = panic {
+        if msg.contains("deadlock") {
+            return Some(Violation::Deadlock(msg.to_string()));
+        }
+        let planned_crash = spec.faults.iter().any(|r| matches!(r.action, FaultAction::Panic));
+        let crash_shaped = msg.contains("injected fault") || msg.contains("aborting agent");
+        if !(planned_crash && crash_shaped) {
+            return Some(Violation::UnexpectedPanic(msg.to_string()));
+        }
+    }
+    if let Some(v) = check_history(events) {
+        return Some(Violation::History(format!("seq {}: {}", v.seq, v.detail)));
+    }
+    if let Some(msg) = check_conservation(events) {
+        return Some(Violation::Conservation(msg));
+    }
+    if let Some(msg) = check_collaboration(protocol, complete) {
+        return Some(Violation::Collaboration(msg));
+    }
+    if complete {
+        let model_len: i64 = events
+            .iter()
+            .map(|e| match &e.op {
+                HistoryOp::Insert { keys } => keys.len() as i64,
+                HistoryOp::DeleteMin { keys, .. } => -(keys.len() as i64),
+            })
+            .sum();
+        if q.len() as i64 != model_len {
+            return Some(Violation::Invariant(format!(
+                "quiescent len {} != linearized model len {model_len}",
+                q.len()
+            )));
+        }
+        if let Err(p) = catch_unwind(AssertUnwindSafe(|| q.check_invariants())) {
+            return Some(Violation::Invariant(payload_str(p.as_ref()).to_string()));
+        }
+    }
+    None
+}
+
+/// Deleted keys must be a sub-multiset of inserted keys — checked
+/// independently of [`check_history`] because it holds even on
+/// truncated (crashed) histories where sequential replay is vacuous.
+fn check_conservation(events: &[HistoryEvent<u32>]) -> Option<String> {
+    let mut balance: HashMap<u32, i64> = HashMap::new();
+    for e in events {
+        match &e.op {
+            HistoryOp::Insert { keys } => {
+                for &k in keys {
+                    *balance.entry(k).or_default() += 1;
+                }
+            }
+            HistoryOp::DeleteMin { keys, .. } => {
+                for &k in keys {
+                    let b = balance.entry(k).or_default();
+                    *b -= 1;
+                    if *b < 0 {
+                        return Some(format!(
+                            "key {k} deleted more times than inserted (at seq {})",
+                            e.seq
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::PrefixStrategy;
+
+    #[test]
+    fn default_schedule_of_key_steal_mix_is_clean_and_deterministic() {
+        let spec = WorkloadSpec::key_steal_mix(4);
+        let a = run_schedule(&spec, Arc::new(PrefixStrategy { prefix: Vec::new() }));
+        assert_eq!(a.violation, None, "{:?}", a.violation);
+        assert!(a.panic.is_none() && !a.poisoned);
+        let b = run_schedule(&spec, Arc::new(PrefixStrategy { prefix: Vec::new() }));
+        assert_eq!(a.decisions, b.decisions, "decision logs must be bit-identical");
+        assert_eq!(a.events, b.events, "histories must be bit-identical");
+    }
+
+    #[test]
+    fn conservation_flags_fabricated_keys() {
+        let events = vec![
+            HistoryEvent {
+                seq: 1,
+                invoked: 0,
+                responded: 1,
+                op: HistoryOp::Insert { keys: vec![5] },
+            },
+            HistoryEvent {
+                seq: 2,
+                invoked: 2,
+                responded: 3,
+                op: HistoryOp::DeleteMin { requested: 2, keys: vec![5, 9] },
+            },
+        ];
+        assert!(check_conservation(&events).unwrap().contains("key 9"));
+    }
+
+    #[test]
+    fn planned_crash_is_not_a_violation_but_deadlock_would_be() {
+        use bgpq_runtime::{FaultRule, InjectionPoint};
+        install_quiet_panic_hook();
+        let spec = WorkloadSpec::key_steal_mix(4).with_faults(vec![FaultRule {
+            point: InjectionPoint::MidInsertHeapify,
+            nth: 2,
+            action: FaultAction::Panic,
+        }]);
+        let out = run_schedule(&spec, Arc::new(PrefixStrategy { prefix: Vec::new() }));
+        assert!(out.panic.is_some(), "the planned crash must fire");
+        assert_eq!(out.violation, None, "{:?}", out.violation);
+    }
+}

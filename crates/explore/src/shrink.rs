@@ -1,0 +1,40 @@
+//! Greedy counterexample minimization: a failing schedule is its sparse
+//! override list, so shrink by repeatedly deleting one override and
+//! keeping the deletion whenever the violation (any violation)
+//! persists. After each successful deletion the override list is
+//! re-canonicalized from the replayed decision log — removing one
+//! override shifts later decision ordinals, so the stale list would
+//! otherwise pin the wrong steps. Fixpoint: no single deletion still
+//! fails.
+
+use crate::dfs::Counterexample;
+use crate::run::replay;
+use crate::spec::WorkloadSpec;
+use crate::strategy::overrides_of;
+
+/// Minimized counterexample plus the number of replays spent shrinking.
+pub fn shrink(spec: &WorkloadSpec, ce: &Counterexample) -> (Counterexample, usize) {
+    let mut cur = ce.clone();
+    let mut replays = 0usize;
+    loop {
+        let mut improved = false;
+        for skip in 0..cur.overrides.len() {
+            let mut candidate = cur.overrides.clone();
+            candidate.remove(skip);
+            let out = replay(spec, &candidate);
+            replays += 1;
+            if let Some(v) = out.violation {
+                cur = Counterexample {
+                    overrides: overrides_of(&out.decisions),
+                    violation: v,
+                    decisions: out.decisions.len(),
+                };
+                improved = true;
+                break;
+            }
+        }
+        if !improved {
+            return (cur, replays);
+        }
+    }
+}

@@ -1,0 +1,390 @@
+//! Workload specifications and the `.sched` counterexample format.
+//!
+//! A [`WorkloadSpec`] fixes everything about an exploration subject
+//! except the schedule: queue geometry (`k`, `max_nodes`), the §4.3
+//! collaboration switch, an optional deliberately re-introduced protocol
+//! bug ([`Mutation`]), one operation script per simulated block, and an
+//! optional deterministic fault plan. The schedule itself is the varying
+//! input: a [`SchedFile`] pairs a spec with the sparse `(step, agent)`
+//! overrides that reproduce one specific interleaving bit-for-bit.
+//!
+//! The text format is deliberately dumb — line-oriented, whitespace
+//! tokens, one `end` terminator — so counterexample artifacts diff well
+//! and survive hand editing:
+//!
+//! ```text
+//! bgpq-explore sched v1
+//! k 4
+//! max-nodes 64
+//! collab 1
+//! mutation marked-early-avail
+//! blocks 2
+//! script 0 i 0 1 2 3 ; i 4 5 6 7
+//! script 1 d 2 ; d 4
+//! fault marked-spin 1 stall 5000
+//! override 17 1
+//! end
+//! ```
+
+use bgpq::Mutation;
+use bgpq_runtime::{FaultAction, FaultRule, InjectionPoint};
+use gpu_sim::AgentId;
+use std::fmt;
+
+/// One scripted operation executed by a block's leader thread.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WorkOp {
+    /// Insert one batch of keys (1..=k of them, one linearized INSERT).
+    Insert(Vec<u32>),
+    /// Delete up to `n` minimum keys (one linearized DELETEMIN).
+    DeleteMin(usize),
+}
+
+/// Everything about an exploration subject except the schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkloadSpec {
+    /// Node capacity `k` (keys per heap node / max batch size).
+    pub k: usize,
+    /// Heap body size in nodes.
+    pub max_nodes: usize,
+    /// Enable the TARGET/MARKED key-stealing collaboration (§4.3).
+    pub use_collaboration: bool,
+    /// Deliberately re-introduced protocol bug, if any.
+    pub mutation: Mutation,
+    /// One operation script per block; `scripts.len()` is the number of
+    /// concurrent agents in the launch.
+    pub scripts: Vec<Vec<WorkOp>>,
+    /// Deterministic fault plan composed into the platform (empty = no
+    /// faults).
+    pub faults: Vec<FaultRule>,
+}
+
+impl WorkloadSpec {
+    pub fn blocks(&self) -> usize {
+        self.scripts.len()
+    }
+
+    /// Total keys inserted across all scripts (an upper bound on live
+    /// size, used for sizing checks).
+    pub fn keys_inserted(&self) -> usize {
+        self.scripts
+            .iter()
+            .flatten()
+            .map(|op| match op {
+                WorkOp::Insert(keys) => keys.len(),
+                WorkOp::DeleteMin(_) => 0,
+            })
+            .sum()
+    }
+
+    /// The canonical §4.3 key-stealing window workload, scaled to `k`.
+    ///
+    /// Block 0 performs four full INSERTs. The fourth batch targets heap
+    /// node 4 — a grandchild of the root — which is the smallest heap
+    /// where the inserter *releases the root lock before locking its
+    /// TARGET node* (for nodes 2 and 3 the inserter re-locks the target
+    /// while still holding the root, so no steal window exists). Block 1
+    /// then deletes `k/2` keys (shrinking the root cache below a full
+    /// node) and `k` more, forcing a refill whose victim is exactly the
+    /// in-flight TARGET node. A schedule that preempts block 0 inside
+    /// that window drives the DELETEMIN into the MARKED handshake.
+    pub fn key_steal_mix(k: usize) -> Self {
+        assert!(k >= 2, "key-steal mix needs k >= 2");
+        let insert =
+            |b: usize| WorkOp::Insert((0..k).map(|i| (b * k + i) as u32).collect::<Vec<_>>());
+        Self {
+            k,
+            max_nodes: 64,
+            use_collaboration: true,
+            mutation: Mutation::None,
+            scripts: vec![
+                vec![insert(0), insert(1), insert(2), insert(3)],
+                vec![WorkOp::DeleteMin(k.div_ceil(2)), WorkOp::DeleteMin(k)],
+            ],
+            faults: Vec::new(),
+        }
+    }
+
+    /// A pseudo-random insert/delete mix: `blocks` agents, `ops`
+    /// operations each, batch sizes in `1..=k`. Same seed ⇒ same spec.
+    pub fn generated(seed: u64, blocks: usize, k: usize, ops: usize) -> Self {
+        assert!(blocks >= 1 && k >= 1 && ops >= 1);
+        let mut z = seed;
+        let mut next = move || {
+            z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut x = z;
+            x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            x ^ (x >> 31)
+        };
+        let scripts = (0..blocks)
+            .map(|_| {
+                (0..ops)
+                    .map(|_| {
+                        let r = next();
+                        let n = (r >> 8) as usize % k + 1;
+                        if r % 100 < 60 {
+                            WorkOp::Insert((0..n).map(|_| (next() % 100_000) as u32).collect())
+                        } else {
+                            WorkOp::DeleteMin(n)
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        Self {
+            k,
+            max_nodes: blocks * ops + 8,
+            use_collaboration: true,
+            mutation: Mutation::None,
+            scripts,
+            faults: Vec::new(),
+        }
+    }
+
+    /// Same spec with a protocol bug switched on.
+    pub fn with_mutation(mut self, m: Mutation) -> Self {
+        self.mutation = m;
+        self
+    }
+
+    /// Same spec with a deterministic fault plan composed in.
+    pub fn with_faults(mut self, faults: Vec<FaultRule>) -> Self {
+        self.faults = faults;
+        self
+    }
+}
+
+/// A spec plus the sparse schedule overrides that reproduce one
+/// interleaving: at decision ordinal `step`, run `agent` instead of the
+/// default pick. Serialized as a `.sched` artifact.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SchedFile {
+    pub spec: WorkloadSpec,
+    pub overrides: Vec<(u64, AgentId)>,
+}
+
+fn mutation_name(m: Mutation) -> &'static str {
+    match m {
+        Mutation::None => "none",
+        Mutation::MarkedHandoffEarlyAvail => "marked-early-avail",
+    }
+}
+
+fn parse_mutation(s: &str) -> Result<Mutation, String> {
+    match s {
+        "none" => Ok(Mutation::None),
+        "marked-early-avail" => Ok(Mutation::MarkedHandoffEarlyAvail),
+        other => Err(format!("unknown mutation `{other}`")),
+    }
+}
+
+fn point_name(p: InjectionPoint) -> &'static str {
+    match p {
+        InjectionPoint::PreLockAcquire => "pre-lock-acquire",
+        InjectionPoint::PostLockAcquire => "post-lock-acquire",
+        InjectionPoint::PreLockRelease => "pre-lock-release",
+        InjectionPoint::MidInsertHeapify => "mid-insert-heapify",
+        InjectionPoint::MidDeleteHeapify => "mid-delete-heapify",
+        InjectionPoint::MarkedSpin => "marked-spin",
+    }
+}
+
+fn parse_point(s: &str) -> Result<InjectionPoint, String> {
+    InjectionPoint::ALL
+        .into_iter()
+        .find(|&p| point_name(p) == s)
+        .ok_or_else(|| format!("unknown injection point `{s}`"))
+}
+
+impl fmt::Display for SchedFile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "bgpq-explore sched v1")?;
+        writeln!(f, "k {}", self.spec.k)?;
+        writeln!(f, "max-nodes {}", self.spec.max_nodes)?;
+        writeln!(f, "collab {}", u8::from(self.spec.use_collaboration))?;
+        writeln!(f, "mutation {}", mutation_name(self.spec.mutation))?;
+        writeln!(f, "blocks {}", self.spec.blocks())?;
+        for (b, script) in self.spec.scripts.iter().enumerate() {
+            write!(f, "script {b}")?;
+            for (i, op) in script.iter().enumerate() {
+                write!(f, "{}", if i == 0 { " " } else { " ; " })?;
+                match op {
+                    WorkOp::Insert(keys) => {
+                        write!(f, "i")?;
+                        for k in keys {
+                            write!(f, " {k}")?;
+                        }
+                    }
+                    WorkOp::DeleteMin(n) => write!(f, "d {n}")?,
+                }
+            }
+            writeln!(f)?;
+        }
+        for r in &self.spec.faults {
+            match r.action {
+                FaultAction::Panic => writeln!(f, "fault {} {} panic", point_name(r.point), r.nth)?,
+                FaultAction::Stall { units } => {
+                    writeln!(f, "fault {} {} stall {units}", point_name(r.point), r.nth)?
+                }
+                FaultAction::Delay { units } => {
+                    writeln!(f, "fault {} {} delay {units}", point_name(r.point), r.nth)?
+                }
+            }
+        }
+        for &(step, agent) in &self.overrides {
+            writeln!(f, "override {step} {agent}")?;
+        }
+        writeln!(f, "end")
+    }
+}
+
+impl SchedFile {
+    /// Parse the `.sched` text format. Inverse of `Display`.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut lines = text.lines().map(str::trim).filter(|l| !l.is_empty());
+        if lines.next() != Some("bgpq-explore sched v1") {
+            return Err("missing `bgpq-explore sched v1` header".into());
+        }
+        let mut k = None;
+        let mut max_nodes = None;
+        let mut collab = true;
+        let mut mutation = Mutation::None;
+        let mut scripts: Vec<Vec<WorkOp>> = Vec::new();
+        let mut faults = Vec::new();
+        let mut overrides = Vec::new();
+        let mut ended = false;
+        for line in lines {
+            let toks: Vec<&str> = line.split_whitespace().collect();
+            let int = |s: &str| s.parse::<u64>().map_err(|e| format!("bad number `{s}`: {e}"));
+            match toks[0] {
+                "k" => k = Some(int(toks.get(1).ok_or("k needs a value")?)? as usize),
+                "max-nodes" => {
+                    max_nodes = Some(int(toks.get(1).ok_or("max-nodes needs a value")?)? as usize)
+                }
+                "collab" => collab = toks.get(1) == Some(&"1"),
+                "mutation" => {
+                    mutation = parse_mutation(toks.get(1).ok_or("mutation needs a value")?)?
+                }
+                "blocks" => {
+                    let n = int(toks.get(1).ok_or("blocks needs a value")?)? as usize;
+                    scripts = vec![Vec::new(); n];
+                }
+                "script" => {
+                    let b = int(toks.get(1).ok_or("script needs a block id")?)? as usize;
+                    let script = scripts
+                        .get_mut(b)
+                        .ok_or(format!("script {b} out of range (declare `blocks` first)"))?;
+                    for group in toks[2..].split(|&t| t == ";") {
+                        match group {
+                            ["i", keys @ ..] if !keys.is_empty() => {
+                                let keys = keys
+                                    .iter()
+                                    .map(|s| int(s).map(|v| v as u32))
+                                    .collect::<Result<Vec<_>, _>>()?;
+                                script.push(WorkOp::Insert(keys));
+                            }
+                            ["d", n] => script.push(WorkOp::DeleteMin(int(n)? as usize)),
+                            other => return Err(format!("bad op group {other:?}")),
+                        }
+                    }
+                }
+                "fault" => {
+                    let point = parse_point(toks.get(1).ok_or("fault needs a point")?)?;
+                    let nth = int(toks.get(2).ok_or("fault needs an ordinal")?)?;
+                    let action = match (toks.get(3).copied(), toks.get(4)) {
+                        (Some("panic"), None) => FaultAction::Panic,
+                        (Some("stall"), Some(u)) => FaultAction::Stall { units: int(u)? },
+                        (Some("delay"), Some(u)) => FaultAction::Delay { units: int(u)? },
+                        _ => return Err(format!("bad fault action in `{line}`")),
+                    };
+                    faults.push(FaultRule { point, nth, action });
+                }
+                "override" => {
+                    let step = int(toks.get(1).ok_or("override needs a step")?)?;
+                    let agent = int(toks.get(2).ok_or("override needs an agent")?)? as AgentId;
+                    overrides.push((step, agent));
+                }
+                "end" => {
+                    ended = true;
+                    break;
+                }
+                other => return Err(format!("unknown directive `{other}`")),
+            }
+        }
+        if !ended {
+            return Err("missing `end` terminator".into());
+        }
+        let spec = WorkloadSpec {
+            k: k.ok_or("missing `k`")?,
+            max_nodes: max_nodes.ok_or("missing `max-nodes`")?,
+            use_collaboration: collab,
+            mutation,
+            scripts,
+            faults,
+        };
+        if spec.scripts.is_empty() {
+            return Err("no blocks declared".into());
+        }
+        Ok(SchedFile { spec, overrides })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sched_file_roundtrips() {
+        let spec = WorkloadSpec::key_steal_mix(4)
+            .with_mutation(Mutation::MarkedHandoffEarlyAvail)
+            .with_faults(vec![
+                FaultRule {
+                    point: InjectionPoint::MarkedSpin,
+                    nth: 2,
+                    action: FaultAction::Stall { units: 5000 },
+                },
+                FaultRule {
+                    point: InjectionPoint::MidInsertHeapify,
+                    nth: 1,
+                    action: FaultAction::Panic,
+                },
+            ]);
+        let file = SchedFile { spec, overrides: vec![(3, 1), (17, 0)] };
+        let text = file.to_string();
+        let parsed = SchedFile::parse(&text).expect("parses");
+        assert_eq!(parsed, file);
+        // And the re-serialization is stable.
+        assert_eq!(parsed.to_string(), text);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        assert!(SchedFile::parse("nonsense").is_err());
+        let no_end = "bgpq-explore sched v1\nk 4\nmax-nodes 8\nblocks 1\nscript 0 i 1";
+        assert!(SchedFile::parse(no_end).unwrap_err().contains("end"));
+        let bad_op = "bgpq-explore sched v1\nk 4\nmax-nodes 8\nblocks 1\nscript 0 x 1\nend";
+        assert!(SchedFile::parse(bad_op).is_err());
+    }
+
+    #[test]
+    fn key_steal_mix_shape() {
+        let spec = WorkloadSpec::key_steal_mix(4);
+        assert_eq!(spec.blocks(), 2);
+        assert_eq!(spec.keys_inserted(), 16);
+        assert_eq!(spec.scripts[1], vec![WorkOp::DeleteMin(2), WorkOp::DeleteMin(4)]);
+    }
+
+    #[test]
+    fn generated_is_deterministic() {
+        let a = WorkloadSpec::generated(9, 3, 8, 12);
+        let b = WorkloadSpec::generated(9, 3, 8, 12);
+        assert_eq!(a, b);
+        assert_eq!(a.blocks(), 3);
+        assert!(a.scripts.iter().all(|s| s.len() == 12));
+        assert!(a.scripts.iter().flatten().all(|op| match op {
+            WorkOp::Insert(keys) => (1..=8).contains(&keys.len()),
+            WorkOp::DeleteMin(n) => (1..=8).contains(n),
+        }));
+    }
+}

@@ -1,0 +1,157 @@
+//! Schedule strategies: the deterministic default policy plus the three
+//! controllers the explorer drives — explicit prefixes (DFS), sparse
+//! overrides (replay), and weighted random walks.
+
+use gpu_sim::{AgentId, Decision, PickPoint, ScheduleController};
+use std::collections::BTreeMap;
+
+/// The deterministic baseline policy every strategy falls back to:
+/// keep running the yielder (run-to-completion) unless the yield is a
+/// spin-wait poll, in which case switch to the lowest-numbered *other*
+/// ready agent — a spinner is waiting for someone else's write, so
+/// re-picking it is a stutter step that makes no progress.
+pub fn default_pick(p: &PickPoint<'_>) -> AgentId {
+    match p.yielder {
+        Some(y) if !p.spin => y,
+        _ => *p.ready.iter().find(|&&a| Some(a) != p.yielder).unwrap_or(&p.ready[0]),
+    }
+}
+
+/// Whether a logged decision deviates from [`default_pick`] — the sparse
+/// representation of a schedule is exactly its non-default decisions.
+pub fn is_override(d: &Decision) -> bool {
+    let p = PickPoint { step: d.step, ready: &d.ready, yielder: d.yielder, spin: d.spin };
+    default_pick(&p) != d.chosen
+}
+
+/// Project a full decision log onto its sparse `(step, agent)` override
+/// form: replaying these overrides over the default policy reproduces
+/// the log bit-for-bit.
+pub fn overrides_of(decisions: &[Decision]) -> Vec<(u64, AgentId)> {
+    decisions.iter().filter(|d| is_override(d)).map(|d| (d.step, d.chosen)).collect()
+}
+
+/// Follow an explicit choice at decision ordinals `0..prefix.len()`,
+/// then the default policy — the DFS workhorse: each explored schedule
+/// is "this prefix, then run to completion deterministically".
+pub struct PrefixStrategy {
+    pub prefix: Vec<AgentId>,
+}
+
+impl ScheduleController for PrefixStrategy {
+    fn pick(&self, p: &PickPoint<'_>) -> AgentId {
+        match self.prefix.get(p.step as usize) {
+            // A prefix choice can only go stale if the subject is
+            // nondeterministic under a fixed schedule; fall back rather
+            // than crash the run so the divergence surfaces as a
+            // decision-log mismatch.
+            Some(&c) if p.ready.contains(&c) => c,
+            _ => default_pick(p),
+        }
+    }
+}
+
+/// The default policy with pinned `(step → agent)` overrides — the
+/// `.sched` counterexample form. Overrides at stale steps (not a
+/// decision point, or agent not ready) are ignored.
+pub struct OverrideStrategy {
+    overrides: BTreeMap<u64, AgentId>,
+}
+
+impl OverrideStrategy {
+    pub fn new(overrides: &[(u64, AgentId)]) -> Self {
+        Self { overrides: overrides.iter().copied().collect() }
+    }
+}
+
+impl ScheduleController for OverrideStrategy {
+    fn pick(&self, p: &PickPoint<'_>) -> AgentId {
+        match self.overrides.get(&p.step) {
+            Some(&c) if p.ready.contains(&c) => c,
+            _ => default_pick(p),
+        }
+    }
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Weighted random walk: continue the yielder with probability
+/// `continue_pct`%, otherwise preempt to a uniformly random other ready
+/// agent. Spin yields always switch away (stutter avoidance). The
+/// choice at each step is a pure hash of `(seed, step)`, so a walk is
+/// replayable from its seed alone — no RNG state to serialize.
+pub struct RandomWalkStrategy {
+    pub seed: u64,
+    pub continue_pct: u32,
+}
+
+impl ScheduleController for RandomWalkStrategy {
+    fn pick(&self, p: &PickPoint<'_>) -> AgentId {
+        let h = splitmix64(self.seed ^ p.step.wrapping_mul(0x2545_F491_4F6C_DD1D));
+        if let Some(y) = p.yielder {
+            if !p.spin && h % 100 < self.continue_pct as u64 {
+                return y;
+            }
+        }
+        let others: Vec<AgentId> =
+            p.ready.iter().copied().filter(|&a| Some(a) != p.yielder).collect();
+        if others.is_empty() {
+            p.ready[0]
+        } else {
+            others[(h / 100) as usize % others.len()]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn point(ready: &[AgentId], yielder: Option<AgentId>, spin: bool) -> PickPoint<'_> {
+        PickPoint { step: 0, ready, yielder, spin }
+    }
+
+    #[test]
+    fn default_policy_continues_yielder_and_escapes_spinners() {
+        assert_eq!(default_pick(&point(&[0, 1, 2], Some(1), false)), 1);
+        assert_eq!(default_pick(&point(&[0, 1, 2], Some(0), true)), 1);
+        assert_eq!(default_pick(&point(&[1, 2], None, false)), 1);
+        // Sole-ready spinner: nothing else to pick.
+        assert_eq!(default_pick(&point(&[2], Some(2), true)), 2);
+    }
+
+    #[test]
+    fn overrides_of_keeps_only_non_default_decisions() {
+        let d = |step, yielder, spin, ready: &[AgentId], chosen| Decision {
+            step,
+            yielder,
+            spin,
+            ready: ready.to_vec(),
+            chosen,
+        };
+        let log = vec![
+            d(0, Some(0), false, &[0, 1], 0), // default: continue
+            d(1, Some(0), false, &[0, 1], 1), // preemption: override
+            d(2, Some(1), true, &[0, 1], 0),  // default spin escape
+            d(3, None, false, &[0, 1], 1),    // forced switch, non-min pick: override
+        ];
+        assert_eq!(overrides_of(&log), vec![(1, 1), (3, 1)]);
+    }
+
+    #[test]
+    fn random_walk_is_a_pure_function_of_seed_and_step() {
+        let s = RandomWalkStrategy { seed: 42, continue_pct: 70 };
+        let ready = [0, 1, 2];
+        let p = PickPoint { step: 9, ready: &ready, yielder: Some(1), spin: false };
+        let a = s.pick(&p);
+        assert_eq!(a, s.pick(&p));
+        // Spin yields never stutter on the yielder.
+        let sp = PickPoint { step: 9, ready: &ready, yielder: Some(1), spin: true };
+        assert_ne!(s.pick(&sp), 1);
+    }
+}

@@ -40,6 +40,7 @@ pub mod vm;
 
 pub use config::GpuConfig;
 pub use sched::{
-    AgentId, BarrierId, LockId, Scheduler, SimMetrics, SimWorker, TraceEvent, TraceKind,
+    AgentId, BarrierId, Decision, LockId, PickPoint, ScheduleController, Scheduler, SimMetrics,
+    SimWorker, TraceEvent, TraceKind,
 };
 pub use vm::{launch, launch_phased, BlockCtx, PhaseKernel, SimReport};

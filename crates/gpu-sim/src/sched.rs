@@ -92,6 +92,69 @@ pub struct TraceEvent {
     pub kind: TraceKind,
 }
 
+/// A yield point where the controlled scheduler has a real choice
+/// (at least two ready agents).
+#[derive(Debug)]
+pub struct PickPoint<'a> {
+    /// Decision ordinal within the run (0-based): the index this
+    /// consultation will occupy in the decision log.
+    pub step: u64,
+    /// Agents that can run now, ascending by id. Never fewer than two.
+    pub ready: &'a [AgentId],
+    /// The agent that just yielded, when it is still ready — it *could*
+    /// keep running, so choosing anyone else is a preemption. `None`
+    /// when the previously running agent blocked or finished: a switch
+    /// is forced and costs no preemption budget.
+    pub yielder: Option<AgentId>,
+    /// The yield came from a spin-wait ([`SimWorker::spin`]): re-running
+    /// the yielder is a stutter step (no shared state changed), and
+    /// switching away is free.
+    pub spin: bool,
+}
+
+/// External scheduling strategy for controlled (model-checking) runs.
+///
+/// When attached via [`Scheduler::set_controller`], the min-virtual-time
+/// rule is replaced: at every yield point with more than one ready agent
+/// the scheduler asks the controller which agent runs next, and records
+/// the consultation as a [`Decision`]. Yield points with exactly one
+/// ready agent are granted directly (forced, not recorded), which keeps
+/// decision logs small and stable across strategies.
+///
+/// Implementations must be deterministic functions of the pick point
+/// (plus their own immutable configuration) for replay to reproduce a
+/// run bit-for-bit.
+pub trait ScheduleController: Send + Sync {
+    /// Choose the next agent to run; must be a member of `point.ready`.
+    fn pick(&self, point: &PickPoint<'_>) -> AgentId;
+}
+
+/// One recorded controller consultation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Decision {
+    /// Index of this decision in the run's log.
+    pub step: u64,
+    /// See [`PickPoint::yielder`].
+    pub yielder: Option<AgentId>,
+    /// See [`PickPoint::spin`].
+    pub spin: bool,
+    /// The ready set offered, ascending by id.
+    pub ready: Vec<AgentId>,
+    /// The controller's choice.
+    pub chosen: AgentId,
+}
+
+impl Decision {
+    /// True when the yielder could have kept doing real work (non-spin
+    /// yield) but a different agent was chosen — the unit of the
+    /// context-bounding budget (Musuvathi/Qadeer iterative context
+    /// bounding: forced and spin switches are free, preemptions are
+    /// bounded).
+    pub fn is_preemption(&self) -> bool {
+        !self.spin && self.yielder.is_some_and(|y| y != self.chosen)
+    }
+}
+
 /// Aggregate counters for one simulation run.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct SimMetrics {
@@ -131,6 +194,16 @@ struct SchedInner {
     /// Event trace (empty unless enabled); bounded by `trace_capacity`.
     trace: Vec<TraceEvent>,
     trace_capacity: usize,
+    /// Attached schedule-exploration controller, if any. Replaces the
+    /// min-virtual-time rule: readiness is tracked in `status` only and
+    /// the `ready` heap is bypassed entirely.
+    controller: Option<Arc<dyn ScheduleController>>,
+    /// Log of controller consultations.
+    decisions: Vec<Decision>,
+    /// Set by a spin-flavored yield, consumed by the next controlled
+    /// dispatch (tells the controller that staying on the yielder is a
+    /// stutter step).
+    spin_yield: bool,
 }
 
 /// The virtual-time scheduler shared by all agents of one run.
@@ -167,6 +240,9 @@ impl Scheduler {
                 tie_seed: None,
                 trace: Vec::new(),
                 trace_capacity: 0,
+                controller: None,
+                decisions: Vec::new(),
+                spin_yield: false,
             }),
             cvs: (0..agents).map(|_| Condvar::new()).collect(),
             lock_handoff_cycles: 200,
@@ -225,6 +301,28 @@ impl Scheduler {
         self.inner.lock().tie_seed = Some(seed);
     }
 
+    /// Attach a [`ScheduleController`] that picks which ready agent runs
+    /// at every yield point, replacing the min-virtual-time rule (and any
+    /// tie-seed fuzzing). Must be called before any agent begins —
+    /// typically from the `launch` setup closure. Virtual times still
+    /// advance, but a makespan under a controller measures the *explored
+    /// schedule*, not the performance model.
+    pub fn set_controller(&self, ctrl: Arc<dyn ScheduleController>) {
+        let mut inner = self.inner.lock();
+        assert!(
+            inner.not_started == inner.status.len(),
+            "set_controller must be called before any agent begins"
+        );
+        inner.controller = Some(ctrl);
+    }
+
+    /// Drain the decision log recorded by controlled dispatch (one entry
+    /// per controller consultation, i.e. per yield point that offered a
+    /// real choice). Empty when no controller is attached.
+    pub fn take_decisions(&self) -> Vec<Decision> {
+        std::mem::take(&mut self.inner.lock().decisions)
+    }
+
     /// Enable event tracing, keeping at most `capacity` events (older
     /// events are dropped first).
     pub fn enable_trace(&self, capacity: usize) {
@@ -269,6 +367,7 @@ impl Scheduler {
         inner.live = n;
         inner.not_started = n;
         inner.last_running = None;
+        inner.spin_yield = false;
         // Lock arena is preserved: all locks must be free between waves.
         for (i, l) in inner.locks.iter().enumerate() {
             assert!(
@@ -296,6 +395,11 @@ impl Scheduler {
 
     fn push_ready(inner: &mut SchedInner, id: AgentId) {
         inner.status[id] = Status::Ready;
+        if inner.controller.is_some() {
+            // Controlled mode tracks readiness in `status` only; pushing
+            // here would just grow a heap that dispatch never pops.
+            return;
+        }
         inner.seq += 1;
         let seq = inner.seq;
         // Tie key: arrival order normally; a seeded hash under fuzzing.
@@ -334,22 +438,38 @@ impl Scheduler {
                 return; // someone is executing
             }
         }
-        while let Some(&Reverse((_, _, id))) = inner.ready.peek() {
-            // Lazily skip stale heap entries (an agent can be re-pushed).
-            if inner.status[id] != Status::Ready {
+        if inner.controller.is_some() {
+            if let Some(id) = self.pick_controlled(inner) {
+                if inner.last_running != Some(id) {
+                    inner.metrics.switches += 1;
+                }
+                inner.last_running = Some(id);
+                inner.status[id] = Status::Running;
+                inner.granted[id] = true;
+                Self::trace(inner, id, TraceKind::Granted);
+                self.cvs[id].notify_one();
+                return;
+            }
+            // No ready agent → fall through to the deadlock detector.
+        } else {
+            while let Some(&Reverse((_, _, id))) = inner.ready.peek() {
+                // Lazily skip stale heap entries (an agent can be
+                // re-pushed).
+                if inner.status[id] != Status::Ready {
+                    inner.ready.pop();
+                    continue;
+                }
                 inner.ready.pop();
-                continue;
+                if inner.last_running != Some(id) {
+                    inner.metrics.switches += 1;
+                }
+                inner.last_running = Some(id);
+                inner.status[id] = Status::Running;
+                inner.granted[id] = true;
+                Self::trace(inner, id, TraceKind::Granted);
+                self.cvs[id].notify_one();
+                return;
             }
-            inner.ready.pop();
-            if inner.last_running != Some(id) {
-                inner.metrics.switches += 1;
-            }
-            inner.last_running = Some(id);
-            inner.status[id] = Status::Running;
-            inner.granted[id] = true;
-            Self::trace(inner, id, TraceKind::Granted);
-            self.cvs[id].notify_one();
-            return;
         }
         // Nothing ready. If agents remain but none can ever run, the
         // simulated program deadlocked: poison the run and release every
@@ -371,6 +491,31 @@ impl Scheduler {
             }
             panic!("gpu-sim: deadlock — all live agents are blocked: {states:?}");
         }
+    }
+
+    /// Controlled-mode agent selection: collect the ready set and, when
+    /// there is a real choice, consult the attached
+    /// [`ScheduleController`] and log the [`Decision`]. Returns `None`
+    /// when no agent is ready (the deadlock check follows).
+    fn pick_controlled(&self, inner: &mut SchedInner) -> Option<AgentId> {
+        let ready: Vec<AgentId> =
+            (0..inner.status.len()).filter(|&i| inner.status[i] == Status::Ready).collect();
+        let &first = ready.first()?;
+        let spin = std::mem::replace(&mut inner.spin_yield, false);
+        if ready.len() == 1 {
+            return Some(first);
+        }
+        let yielder = inner.last_running.filter(|&r| inner.status[r] == Status::Ready);
+        let spin = spin && yielder.is_some();
+        let step = inner.decisions.len() as u64;
+        let ctrl = Arc::clone(inner.controller.as_ref().expect("controlled dispatch"));
+        let chosen = ctrl.pick(&PickPoint { step, ready: &ready, yielder, spin });
+        assert!(
+            ready.contains(&chosen),
+            "schedule controller chose agent {chosen}, not in ready set {ready:?}"
+        );
+        inner.decisions.push(Decision { step, yielder, spin, ready, chosen });
+        Some(chosen)
     }
 
     /// Park the calling agent until its grant flag is raised.
@@ -431,17 +576,19 @@ impl SimWorker {
         // initial schedule is deterministic regardless of which thread
         // registered first.
         inner.status[self.id] = Status::Ready;
-        let tie = match inner.tie_seed {
-            None => self.id as u64,
-            Some(s) => {
-                let mut z = s ^ (self.id as u64).wrapping_mul(0x9E3779B97F4A7C15);
-                z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
-                z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
-                z ^ (z >> 31)
-            }
-        };
-        let vt = inner.vtime[self.id];
-        inner.ready.push(Reverse((vt, tie, self.id)));
+        if inner.controller.is_none() {
+            let tie = match inner.tie_seed {
+                None => self.id as u64,
+                Some(s) => {
+                    let mut z = s ^ (self.id as u64).wrapping_mul(0x9E3779B97F4A7C15);
+                    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+                    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+                    z ^ (z >> 31)
+                }
+            };
+            let vt = inner.vtime[self.id];
+            inner.ready.push(Reverse((vt, tie, self.id)));
+        }
         // Mark nothing-running if we are first; dispatch picks min.
         if inner.last_running.is_none()
             || inner.status[inner.last_running.unwrap()] != Status::Running
@@ -459,6 +606,19 @@ impl SimWorker {
     /// Advance this agent's clock by `cycles` and yield to any agent with
     /// a smaller virtual time.
     pub fn advance(&mut self, cycles: u64) {
+        self.advance_inner(cycles, false);
+    }
+
+    /// Advance like [`SimWorker::advance`], but flag the yield as a
+    /// spin-wait: the agent learned nothing new and is polling shared
+    /// state. Under a [`ScheduleController`] this marks switching away
+    /// as free (and re-running the spinner as a stutter step); without a
+    /// controller it behaves exactly like `advance`.
+    pub fn spin(&mut self, cycles: u64) {
+        self.advance_inner(cycles, true);
+    }
+
+    fn advance_inner(&mut self, cycles: u64, spin: bool) {
         debug_assert!(self.started && !self.finished);
         let sched = Arc::clone(&self.sched);
         let mut inner = sched.inner.lock();
@@ -469,6 +629,16 @@ impl SimWorker {
         // second panic while unwinding aborts the process. Time still
         // advances; the agent retires in `Drop`.
         if inner.poisoned && std::thread::panicking() {
+            return;
+        }
+        if inner.controller.is_some() {
+            // Controlled mode: every advance is a yield point — the
+            // keep-running fast path below would hide schedules from the
+            // explorer.
+            inner.spin_yield = spin;
+            Scheduler::push_ready(&mut inner, self.id);
+            sched.dispatch(&mut inner);
+            sched.wait_for_grant(&mut inner, self.id);
             return;
         }
         // Fast path: still the minimum → keep running, no switch.
@@ -1000,6 +1170,149 @@ mod tests {
             }
         });
         assert!(sched.makespan() >= 10_000);
+    }
+
+    /// Continue the yielder on real yields; on spin yields (or forced
+    /// switches) run the smallest other ready agent.
+    struct ContinueStrategy;
+    impl ScheduleController for ContinueStrategy {
+        fn pick(&self, p: &PickPoint<'_>) -> AgentId {
+            match p.yielder {
+                Some(y) if !p.spin => y,
+                _ => *p.ready.iter().find(|&&a| Some(a) != p.yielder).unwrap_or(&p.ready[0]),
+            }
+        }
+    }
+
+    fn run_controlled<C, F>(n: usize, ctrl: C, f: F) -> (Arc<Scheduler>, Vec<Decision>)
+    where
+        C: ScheduleController + 'static,
+        F: Fn(&mut SimWorker, AgentId) + Sync,
+    {
+        let sched = Scheduler::new(n);
+        sched.set_controller(Arc::new(ctrl));
+        std::thread::scope(|s| {
+            for id in 0..n {
+                let mut w = sched.worker(id);
+                let f = &f;
+                s.spawn(move || {
+                    w.begin();
+                    f(&mut w, id);
+                    w.finish();
+                });
+            }
+        });
+        let decisions = sched.take_decisions();
+        (sched, decisions)
+    }
+
+    #[test]
+    fn controlled_run_is_deterministic_and_logs_decisions() {
+        let run = || {
+            run_controlled(3, ContinueStrategy, |w, id| {
+                for i in 0..5u64 {
+                    w.advance((id as u64 + 1) * 3 + i);
+                }
+            })
+        };
+        let (_, a) = run();
+        let (_, b) = run();
+        assert!(!a.is_empty(), "multi-agent run must offer real choices");
+        assert_eq!(a, b, "controlled runs must be deterministic");
+        for (i, d) in a.iter().enumerate() {
+            assert_eq!(d.step, i as u64);
+            assert!(d.ready.contains(&d.chosen));
+            assert!(d.ready.len() >= 2, "singleton ready sets must not be logged");
+            assert!(d.ready.windows(2).all(|w| w[0] < w[1]), "ready must be sorted");
+        }
+    }
+
+    #[test]
+    fn controller_choice_overrides_virtual_time_order() {
+        // Agent 1's clock races far ahead of agent 0's, yet the
+        // continue-strategy keeps running it: the min-vtime rule is
+        // fully replaced.
+        struct PreferOne;
+        impl ScheduleController for PreferOne {
+            fn pick(&self, p: &PickPoint<'_>) -> AgentId {
+                if p.ready.contains(&1) {
+                    1
+                } else {
+                    p.ready[0]
+                }
+            }
+        }
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let finish_order = AtomicUsize::new(0);
+        let finished_first = Mutex::new(None);
+        let sched = Scheduler::new(2);
+        sched.set_controller(Arc::new(PreferOne));
+        std::thread::scope(|s| {
+            for id in 0..2 {
+                let mut w = sched.worker(id);
+                let finish_order = &finish_order;
+                let finished_first = &finished_first;
+                s.spawn(move || {
+                    w.begin();
+                    for _ in 0..4 {
+                        w.advance(1_000_000); // huge steps for agent 1 too
+                    }
+                    if finish_order.fetch_add(1, Ordering::SeqCst) == 0 {
+                        finished_first.lock().get_or_insert(id);
+                    }
+                    w.finish();
+                });
+            }
+        });
+        assert_eq!(
+            *finished_first.lock(),
+            Some(1),
+            "controller must be able to run the larger-vtime agent first"
+        );
+    }
+
+    #[test]
+    fn spin_yields_are_flagged_and_preemptions_marked() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let flag = AtomicBool::new(false);
+        let sched = Scheduler::new(2);
+        sched.set_controller(Arc::new(ContinueStrategy));
+        std::thread::scope(|s| {
+            {
+                let mut w = sched.worker(0);
+                let flag = &flag;
+                s.spawn(move || {
+                    w.begin();
+                    while !flag.load(Ordering::SeqCst) {
+                        w.spin(1);
+                    }
+                    w.finish();
+                });
+            }
+            {
+                let mut w = sched.worker(1);
+                let flag = &flag;
+                s.spawn(move || {
+                    w.begin();
+                    w.advance(5);
+                    w.advance(5);
+                    flag.store(true, Ordering::SeqCst);
+                    w.advance(5);
+                    w.finish();
+                });
+            }
+        });
+        let decisions = sched.take_decisions();
+        let spins: Vec<&Decision> = decisions.iter().filter(|d| d.spin).collect();
+        assert!(!spins.is_empty(), "agent 0's polling must surface as spin decisions");
+        for d in &spins {
+            assert_eq!(d.yielder, Some(0));
+            assert_eq!(d.chosen, 1, "ContinueStrategy switches away from spinners");
+            assert!(!d.is_preemption(), "spin switches are free");
+        }
+        // The first decision has no yielder (nobody ran yet): forced.
+        assert_eq!(decisions[0].yielder, None);
+        assert!(!decisions[0].is_preemption());
     }
 
     #[test]

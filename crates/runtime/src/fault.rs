@@ -140,6 +140,30 @@ impl FaultPlan {
         plan
     }
 
+    /// Build a plan from an explicit rule list (e.g. one deserialized
+    /// from a `.sched` artifact).
+    pub fn from_rules(rules: &[FaultRule]) -> Self {
+        let mut plan = Self::new();
+        for r in rules {
+            plan = plan.with_rule(r.point, r.nth, r.action);
+        }
+        plan
+    }
+
+    /// Compose several plans into one (fresh hit counters, nothing
+    /// fired): the rule lists are concatenated in argument order. Lets a
+    /// crash drill be layered onto an explored schedule — e.g. a seeded
+    /// plan plus a hand-pinned rule from a shrunk counterexample.
+    pub fn compose<'a>(plans: impl IntoIterator<Item = &'a FaultPlan>) -> Self {
+        let mut out = Self::new();
+        for plan in plans {
+            for r in &plan.rules {
+                out = out.with_rule(r.point, r.nth, r.action);
+            }
+        }
+        out
+    }
+
     /// The configured rules.
     pub fn rules(&self) -> &[FaultRule] {
         &self.rules
@@ -221,6 +245,26 @@ mod tests {
         }
         let c = FaultPlan::seeded(43, 8, 100);
         assert_ne!(a.rules(), c.rules(), "different seeds, different plans");
+    }
+
+    #[test]
+    fn compose_concatenates_rules_with_fresh_state() {
+        let a = FaultPlan::new().with_rule(InjectionPoint::MarkedSpin, 1, FaultAction::Panic);
+        // Fire `a`'s rule so composing provably resets fired/hit state.
+        assert_eq!(a.check(InjectionPoint::MarkedSpin), Some(FaultAction::Panic));
+        let b = FaultPlan::new().with_rule(
+            InjectionPoint::MidDeleteHeapify,
+            2,
+            FaultAction::Delay { units: 7 },
+        );
+        let c = FaultPlan::compose([&a, &b]);
+        assert_eq!(c.rules().len(), 2);
+        assert_eq!(c.fired_count(), 0);
+        assert_eq!(c.hits(InjectionPoint::MarkedSpin), 0);
+        assert_eq!(c.check(InjectionPoint::MarkedSpin), Some(FaultAction::Panic));
+        let d = FaultPlan::from_rules(c.rules());
+        assert_eq!(d.rules(), c.rules());
+        assert_eq!(d.fired_count(), 0);
     }
 
     #[test]

@@ -93,13 +93,15 @@ impl Platform for SimPlatform {
     }
 
     fn backoff(&self, w: &mut SimWorker) {
-        w.advance(self.cost.c_spin);
+        // Spin-flavored yield: under a schedule-exploration controller
+        // this marks switching away as free (the agent is only polling).
+        w.spin(self.cost.c_spin);
     }
 
     fn backoff_long(&self, w: &mut SimWorker) {
         // An escalated spin models a sleeping wait: one big clock jump
         // instead of many cheap ones, letting the waited-on agent run.
-        w.advance(self.cost.c_spin * 64);
+        w.spin(self.cost.c_spin * 64);
     }
 
     fn inject(&self, w: &mut SimWorker, point: InjectionPoint) {

@@ -191,3 +191,82 @@ fn concurrent_multiset_agrees_across_platforms() {
     assert_eq!(q.len() + sim_deleted.load(std::sync::atomic::Ordering::Relaxed), total_inserted);
     q.check_invariants();
 }
+
+/// The strongest single-agent equivalence: with history recording on,
+/// CpuPlatform and SimPlatform must emit the *identical* linearization
+/// history — same sequence numbers, same op payloads, same order — for
+/// one fixed op script, across node capacities spanning a leaf-heavy
+/// small-k heap, the default, and a wide root (k ∈ {4, 8, 32}).
+#[test]
+fn histories_are_identical_across_platforms_for_all_k() {
+    for k in [4usize, 8, 32] {
+        let o = BgpqOptions { node_capacity: k, max_nodes: 1 << 10, ..Default::default() };
+        let ops: Vec<Op> = {
+            let mut rng = StdRng::seed_from_u64(0xC0FFEE + k as u64);
+            (0..150)
+                .map(|_| {
+                    if rng.gen_bool(0.55) {
+                        let c = rng.gen_range(1..=k);
+                        Op::Insert((0..c).map(|_| rng.gen_range(0..1 << 30)).collect())
+                    } else {
+                        Op::Delete(rng.gen_range(1..=k))
+                    }
+                })
+                .collect()
+        };
+
+        let cpu: CpuBgpq<u32, u32> = CpuBgpq::new(o).with_history();
+        {
+            let mut out = Vec::new();
+            for op in &ops {
+                match op {
+                    Op::Insert(keys) => {
+                        let items: Vec<Entry<u32, u32>> =
+                            keys.iter().map(|&x| Entry::new(x, x)).collect();
+                        cpu.insert_batch(&items);
+                    }
+                    Op::Delete(n) => {
+                        out.clear();
+                        cpu.delete_min_batch(&mut out, *n);
+                    }
+                }
+            }
+        }
+        let cpu_events = cpu.inner().take_history();
+
+        let ops2 = ops.clone();
+        let gpu = GpuConfig::new(1, 128);
+        let (_, q) = launch(
+            gpu,
+            |sched| {
+                let p = SimPlatform::new(sched, o.max_nodes + 1, gpu.cost, gpu.block_dim);
+                Bgpq::<u32, u32, _>::with_platform(p, o).with_history()
+            },
+            |ctx, q| {
+                let mut out = Vec::new();
+                for op in &ops2 {
+                    match op {
+                        Op::Insert(keys) => {
+                            let items: Vec<Entry<u32, u32>> =
+                                keys.iter().map(|&x| Entry::new(x, x)).collect();
+                            q.insert(ctx.worker(), &items);
+                        }
+                        Op::Delete(n) => {
+                            out.clear();
+                            q.delete_min(ctx.worker(), &mut out, *n);
+                        }
+                    }
+                }
+            },
+        );
+        let sim_events = q.take_history();
+
+        assert!(bgpq::check_history(&cpu_events).is_none(), "k={k}: cpu history linearizes");
+        let cpu_seq_ops: Vec<_> = cpu_events.iter().map(|e| (e.seq, e.op.clone())).collect();
+        let sim_seq_ops: Vec<_> = sim_events.iter().map(|e| (e.seq, e.op.clone())).collect();
+        assert_eq!(cpu_seq_ops, sim_seq_ops, "k={k}: linearization histories must be identical");
+        assert_eq!(q.len(), BatchPriorityQueue::<u32, u32>::len(&cpu), "k={k}: lengths differ");
+        q.check_invariants();
+        cpu.inner().check_invariants();
+    }
+}

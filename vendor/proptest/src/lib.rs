@@ -501,6 +501,19 @@ macro_rules! prop_assert_eq {
             }
         }
     };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                $crate::prop_assert!(
+                    *__l == *__r,
+                    "{}\n  left: {:?}\n right: {:?}",
+                    ::std::format!($($fmt)+),
+                    __l,
+                    __r
+                );
+            }
+        }
+    };
 }
 
 /// Inequality assertion inside a proptest body.
