@@ -34,6 +34,8 @@ pub mod stats;
 pub use entry::Entry;
 pub use error::QueueError;
 pub use key::{KeyType, ValueType};
-pub use pq::{BatchPriorityQueue, ItemwiseBatch, PriorityQueue, QueueFactory};
+pub use pq::{
+    BatchPriorityQueue, ItemwiseBatch, PriorityQueue, QueueFactory, TryBatchPriorityQueue,
+};
 pub use scratch::ScratchSlot;
-pub use stats::{OpStats, StatsSnapshot};
+pub use stats::{occupancy_bucket, OpStats, StatsSnapshot, OCCUPANCY_BUCKETS};

@@ -13,6 +13,7 @@
 //! across threads.
 
 use crate::entry::Entry;
+use crate::error::QueueError;
 use crate::key::{KeyType, ValueType};
 
 /// Classical concurrent priority queue ADT.
@@ -56,6 +57,37 @@ pub trait BatchPriorityQueue<K: KeyType, V: ValueType>: Send + Sync {
 
     fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+}
+
+/// Batched queue with non-panicking entry points: backpressure
+/// ([`QueueError::Full`]) and failure ([`QueueError::Poisoned`],
+/// [`QueueError::LockTimeout`]) surface as values instead of panics.
+///
+/// The default methods delegate to the infallible
+/// [`BatchPriorityQueue`] operations — correct for implementations
+/// that cannot fail (the CPU baselines, [`ItemwiseBatch`]). Hardened
+/// queues (`CpuBgpq`, `CpuShardedBgpq`) override both methods with
+/// their real `try_*` paths, which is what lets generic fronts (the
+/// coalescing combiner) propagate `Full`/`Poisoned`/`LockTimeout` to
+/// blocked submitters instead of wedging them.
+pub trait TryBatchPriorityQueue<K: KeyType, V: ValueType>: BatchPriorityQueue<K, V> {
+    /// Insert `items` (1..=`batch_capacity()`), surfacing failures.
+    /// On `Err` the batch was not inserted and the caller still owns
+    /// every key.
+    fn try_insert_batch(&self, items: &[Entry<K, V>]) -> Result<(), QueueError> {
+        self.insert_batch(items);
+        Ok(())
+    }
+
+    /// Delete up to `count` smallest entries, surfacing failures. On
+    /// `Err`, `out` is unchanged.
+    fn try_delete_min_batch(
+        &self,
+        out: &mut Vec<Entry<K, V>>,
+        count: usize,
+    ) -> Result<usize, QueueError> {
+        Ok(self.delete_min_batch(out, count))
     }
 }
 
@@ -119,6 +151,15 @@ where
     fn len(&self) -> usize {
         self.inner.len()
     }
+}
+
+/// Itemwise baselines never fail structurally; the defaults apply.
+impl<K, V, Q> TryBatchPriorityQueue<K, V> for ItemwiseBatch<Q>
+where
+    K: KeyType,
+    V: ValueType,
+    Q: PriorityQueue<K, V>,
+{
 }
 
 /// Factory for building fresh queue instances inside the bench harness

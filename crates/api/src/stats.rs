@@ -8,6 +8,27 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
+/// Number of batch-occupancy histogram buckets in [`OpStats`]. Bucket
+/// `i` counts issued batches whose fill fraction `filled / capacity`
+/// fell in `(i/B, (i+1)/B]` — bucket 0 is near-empty batches (the
+/// single-op traffic the coalescing front exists to fix), bucket
+/// `B - 1` is full `k`-wide batches.
+pub const OCCUPANCY_BUCKETS: usize = 8;
+
+/// Histogram bucket for a batch that moved `filled` of a possible
+/// `capacity` items. `filled = 0` (an empty delete) lands in bucket 0
+/// alongside the near-empty batches.
+#[inline]
+pub fn occupancy_bucket(filled: usize, capacity: usize) -> usize {
+    debug_assert!(capacity >= 1, "batch capacity must be at least 1");
+    debug_assert!(filled <= capacity, "batch cannot exceed its capacity");
+    if filled == 0 {
+        return 0;
+    }
+    // ceil(filled * B / capacity) - 1, clamped into range.
+    ((filled * OCCUPANCY_BUCKETS).div_ceil(capacity) - 1).min(OCCUPANCY_BUCKETS - 1)
+}
+
 /// Atomic counters. All increments are `Relaxed`: these are statistics,
 /// not synchronization.
 #[derive(Debug, Default)]
@@ -46,6 +67,12 @@ pub struct OpStats {
     /// Shards quarantined by a sharded router after this queue (or a
     /// sibling) failed.
     pub shard_quarantines: AtomicU64,
+    /// Batch-occupancy histogram: how full each issued batch was
+    /// relative to the capacity it could have used (see
+    /// [`occupancy_bucket`]). Every front that issues batches — the
+    /// heap itself, the shard router, the coalescing combiner —
+    /// records into the same shape so their reports merge.
+    pub batch_occupancy: [AtomicU64; OCCUPANCY_BUCKETS],
 }
 
 impl OpStats {
@@ -61,6 +88,13 @@ impl OpStats {
     #[inline]
     pub fn add(counter: &AtomicU64, n: u64) {
         counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Record one issued batch that moved `filled` of a possible
+    /// `capacity` items into the occupancy histogram.
+    #[inline]
+    pub fn record_batch_occupancy(&self, filled: usize, capacity: usize) {
+        self.batch_occupancy[occupancy_bucket(filled, capacity)].fetch_add(1, Ordering::Relaxed);
     }
 
     /// Snapshot all counters (for printing / assertions).
@@ -82,6 +116,7 @@ impl OpStats {
             spin_escalations: ld(&self.spin_escalations),
             poison_events: ld(&self.poison_events),
             shard_quarantines: ld(&self.shard_quarantines),
+            batch_occupancy: std::array::from_fn(|i| ld(&self.batch_occupancy[i])),
         }
     }
 
@@ -108,6 +143,9 @@ impl OpStats {
         fold(&self.spin_escalations, &other.spin_escalations);
         fold(&self.poison_events, &other.poison_events);
         fold(&self.shard_quarantines, &other.shard_quarantines);
+        for (dst, src) in self.batch_occupancy.iter().zip(&other.batch_occupancy) {
+            fold(dst, src);
+        }
     }
 
     /// Reset all counters to zero (between bench trials).
@@ -128,6 +166,9 @@ impl OpStats {
         st(&self.spin_escalations);
         st(&self.poison_events);
         st(&self.shard_quarantines);
+        for b in &self.batch_occupancy {
+            st(b);
+        }
     }
 }
 
@@ -149,6 +190,7 @@ pub struct StatsSnapshot {
     pub spin_escalations: u64,
     pub poison_events: u64,
     pub shard_quarantines: u64,
+    pub batch_occupancy: [u64; OCCUPANCY_BUCKETS],
 }
 
 impl std::ops::Add for StatsSnapshot {
@@ -171,6 +213,9 @@ impl std::ops::Add for StatsSnapshot {
             spin_escalations: self.spin_escalations + rhs.spin_escalations,
             poison_events: self.poison_events + rhs.poison_events,
             shard_quarantines: self.shard_quarantines + rhs.shard_quarantines,
+            batch_occupancy: std::array::from_fn(|i| {
+                self.batch_occupancy[i] + rhs.batch_occupancy[i]
+            }),
         }
     }
 }
@@ -197,6 +242,30 @@ impl StatsSnapshot {
             return 0.0;
         }
         self.deletes_from_root as f64 / self.delete_mins as f64
+    }
+
+    /// Total batches recorded into the occupancy histogram.
+    pub fn batches_recorded(&self) -> u64 {
+        self.batch_occupancy.iter().sum()
+    }
+
+    /// Mean fill fraction of recorded batches, estimated from bucket
+    /// midpoints (0.0 when nothing was recorded). Exact means come
+    /// from `items_inserted / inserts`; this estimator exists so the
+    /// histogram alone tells a coherent story in reports.
+    pub fn mean_occupancy_estimate(&self) -> f64 {
+        let total = self.batches_recorded();
+        if total == 0 {
+            return 0.0;
+        }
+        let b = OCCUPANCY_BUCKETS as f64;
+        let weighted: f64 = self
+            .batch_occupancy
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| n as f64 * (i as f64 + 0.5) / b)
+            .sum();
+        weighted / total as f64
     }
 }
 
@@ -236,7 +305,7 @@ mod tests {
         let a = OpStats::new();
         let b = OpStats::new();
         // Distinct primes per counter so a missed field can't cancel out.
-        fn fields(s: &OpStats) -> [(&AtomicU64, u64); 15] {
+        fn fields(s: &OpStats) -> [(&AtomicU64, u64); 17] {
             [
                 (&s.inserts, 2u64),
                 (&s.delete_mins, 3),
@@ -253,6 +322,8 @@ mod tests {
                 (&s.spin_escalations, 41),
                 (&s.poison_events, 43),
                 (&s.shard_quarantines, 47),
+                (&s.batch_occupancy[0], 53),
+                (&s.batch_occupancy[OCCUPANCY_BUCKETS - 1], 59),
             ]
         }
         for (c, n) in fields(&a) {
@@ -291,5 +362,48 @@ mod tests {
     fn stats_are_send_sync() {
         fn assert_ss<T: Send + Sync>() {}
         assert_ss::<OpStats>();
+    }
+
+    #[test]
+    fn occupancy_buckets_partition_the_fill_range() {
+        // Full batches land in the top bucket regardless of capacity.
+        for cap in [1usize, 2, 7, 8, 1024] {
+            assert_eq!(occupancy_bucket(cap, cap), OCCUPANCY_BUCKETS - 1, "cap {cap}");
+        }
+        // A single item in a wide batch is near-empty.
+        assert_eq!(occupancy_bucket(1, 1024), 0);
+        assert_eq!(occupancy_bucket(0, 8), 0, "empty result batches count as near-empty");
+        // Half-full sits at the histogram midpoint boundary.
+        assert_eq!(occupancy_bucket(512, 1024), OCCUPANCY_BUCKETS / 2 - 1);
+        // Buckets are monotone in fill for a fixed capacity.
+        let cap = 64;
+        let mut prev = 0;
+        for filled in 1..=cap {
+            let b = occupancy_bucket(filled, cap);
+            assert!(b >= prev, "bucket regressed at filled = {filled}");
+            prev = b;
+        }
+    }
+
+    #[test]
+    fn occupancy_histogram_records_merges_and_resets() {
+        let s = OpStats::new();
+        s.record_batch_occupancy(1, 8); // bucket 0
+        s.record_batch_occupancy(8, 8); // top bucket
+        s.record_batch_occupancy(8, 8);
+        let snap = s.snapshot();
+        assert_eq!(snap.batch_occupancy[0], 1);
+        assert_eq!(snap.batch_occupancy[OCCUPANCY_BUCKETS - 1], 2);
+        assert_eq!(snap.batches_recorded(), 3);
+        assert!(snap.mean_occupancy_estimate() > 0.5, "two full batches dominate");
+
+        let other = OpStats::new();
+        other.record_batch_occupancy(4, 8);
+        s.merge(&other);
+        assert_eq!(s.snapshot().batches_recorded(), 4);
+
+        s.reset();
+        assert_eq!(s.snapshot(), StatsSnapshot::default());
+        assert_eq!(StatsSnapshot::default().mean_occupancy_estimate(), 0.0);
     }
 }

@@ -1,0 +1,456 @@
+//! Coalescing-front sweep: single-op insert/delete-min traffic issued
+//! either as a naive single-op loop straight at the queue (1-wide
+//! batches, one heap lock round-trip per key) or through the
+//! `bgpq-combine` flat-combining front (requests coalesce into
+//! up-to-`k`-wide batches under the adaptive window policy).
+//!
+//! Two sweeps, same workload shape (every submitter runs `pairs`
+//! iterations of one single-item insert followed by one single-item
+//! delete-min):
+//!
+//! * **sim** — concurrent blocks on the virtual-time GPU simulator,
+//!   measured in simulated device time. This is the acceptance cell:
+//!   at ≥ 8 blocks the coalesced path must beat the naive loop ≥ 2×
+//!   with mean issued batch occupancy > `k/2`. Virtual time is where
+//!   batch economics are real: submitters genuinely overlap, so
+//!   requests queue behind an active combiner and rounds fill.
+//! * **cpu** — the same sweep with OS threads over `CpuBgpq` in
+//!   wall-clock time, recorded for context. On a single-core host
+//!   (this repo's CI) time-sliced threads serialize: arrivals never
+//!   outpace service, rounds stay solo, and the front's per-request
+//!   overhead is pure loss — the JSON records `host_cores` so the
+//!   number can be read for what it is.
+//!
+//! Results land in `bench_results/coalesce.csv` and
+//! `BENCH_coalesce.json` (per-cell throughput, ratio, occupancy, and
+//! an `acceptance` object computed from the loaded sim cells).
+//!
+//! Usage: `coalesce [--scale small|medium|full] [--k K]`
+
+use bench::report::{results_dir, Table};
+use bench::Scale;
+use bgpq::{Bgpq, BgpqOptions, CpuBgpq};
+use bgpq_combine::{CombineBackend, CombineShared, Combiner, CombinerOptions, Op};
+use bgpq_runtime::{Platform, SimPlatform};
+use gpu_sim::sched::SimWorker;
+use gpu_sim::{launch, GpuConfig};
+use pq_api::{Entry, QueueError};
+use std::fs;
+use std::sync::Arc;
+use std::time::Instant;
+
+const TRIALS: usize = 3;
+const SUBMITTERS: [usize; 6] = [1, 2, 4, 8, 16, 32];
+
+struct Args {
+    scale: Scale,
+    k: usize,
+}
+
+fn parse_args() -> Args {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::Medium;
+    // k = 8 by default: the sweep targets single-op traffic, where the
+    // interesting regime is window ≈ submitter count, not the heap's
+    // full node width.
+    let mut k = 8usize;
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--scale" => {
+                i += 1;
+                scale = argv.get(i).and_then(|s| Scale::parse(s)).unwrap_or_else(|| {
+                    eprintln!("--scale needs small|medium|full");
+                    std::process::exit(2);
+                });
+            }
+            "--k" => {
+                i += 1;
+                k = argv.get(i).and_then(|s| s.parse().ok()).filter(|&k| k >= 2).unwrap_or_else(
+                    || {
+                        eprintln!("--k needs an integer >= 2");
+                        std::process::exit(2);
+                    },
+                );
+            }
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    Args { scale, k }
+}
+
+/// Insert+delete pairs per submitter, per mode.
+fn pairs_per_submitter(scale: Scale) -> (usize, usize) {
+    // (cpu, sim): the simulator interprets every instruction, so its
+    // per-op wall cost is far higher; device-time ratios converge with
+    // far fewer ops than wall-clock medians do.
+    match scale {
+        Scale::Small => (2_000, 200),
+        Scale::Medium => (10_000, 500),
+        Scale::Full => (40_000, 2_000),
+    }
+}
+
+/// One sweep cell: throughput (wall ops/s for cpu, ops per simulated
+/// ms for sim), the front's mean items per issued insert batch (1.0 by
+/// construction for naive cells), and the final adaptive window.
+#[derive(Clone, Copy)]
+struct Cell {
+    throughput: f64,
+    mean_occupancy: f64,
+    window: usize,
+}
+
+// ---------------------------------------------------------------------
+// CPU sweep: OS threads, wall-clock time.
+// ---------------------------------------------------------------------
+
+fn cpu_queue(k: usize, preload: usize, headroom: usize) -> CpuBgpq<u32, u32> {
+    let q = CpuBgpq::new(BgpqOptions::with_capacity_for(k, preload + headroom));
+    let mut batch: Vec<Entry<u32, u32>> = Vec::with_capacity(k);
+    for base in (0..preload as u32).step_by(k) {
+        batch.clear();
+        batch.extend((base..(base + k as u32).min(preload as u32)).map(|x| Entry::new(x, x)));
+        q.try_insert_batch(&batch).expect("preload fits");
+    }
+    q
+}
+
+/// Median-of-trials over one full multi-threaded run.
+fn median_cell(mut run: impl FnMut() -> Cell) -> Cell {
+    let mut trials: Vec<Cell> = (0..TRIALS).map(|_| run()).collect();
+    trials.sort_by(|a, b| b.throughput.partial_cmp(&a.throughput).unwrap());
+    trials[TRIALS / 2]
+}
+
+/// Naive mode: every thread drives `CpuBgpq`'s hardened batch paths
+/// with 1-wide batches — the exact traffic shape the front exists to
+/// fix.
+fn cpu_naive(threads: usize, pairs: usize, k: usize) -> Cell {
+    median_cell(|| {
+        let q = cpu_queue(k, 1 << 10, threads * k + k);
+        let t0 = Instant::now();
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let q = &q;
+                s.spawn(move || {
+                    let mut out: Vec<Entry<u32, u32>> = Vec::with_capacity(1);
+                    for i in 0..pairs {
+                        let key = (t * pairs + i) as u32;
+                        q.try_insert_batch(&[Entry::new(key, key)]).expect("capacity holds");
+                        out.clear();
+                        q.try_delete_min_batch(&mut out, 1).expect("healthy queue");
+                    }
+                });
+            }
+        });
+        let secs = t0.elapsed().as_secs_f64();
+        Cell { throughput: (2 * pairs * threads) as f64 / secs, mean_occupancy: 1.0, window: 0 }
+    })
+}
+
+/// Coalesced mode: the same traffic submitted through the combining
+/// front; the adaptive window decides the issued batch widths.
+fn cpu_combined(threads: usize, pairs: usize, k: usize) -> Cell {
+    median_cell(|| {
+        let q = Combiner::wrap(cpu_queue(k, 1 << 10, threads * k + k));
+        let t0 = Instant::now();
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let q = &q;
+                s.spawn(move || {
+                    for i in 0..pairs {
+                        let key = (t * pairs + i) as u32;
+                        q.try_insert(key, key).expect("capacity holds");
+                        q.try_delete_min().expect("healthy front");
+                    }
+                });
+            }
+        });
+        let secs = t0.elapsed().as_secs_f64();
+        let snap = q.stats().snapshot();
+        let mean_occupancy =
+            if snap.inserts > 0 { snap.items_inserted as f64 / snap.inserts as f64 } else { 0.0 };
+        Cell { throughput: (2 * pairs * threads) as f64 / secs, mean_occupancy, window: q.window() }
+    })
+}
+
+// ---------------------------------------------------------------------
+// Simulator sweep: concurrent blocks, device time.
+// ---------------------------------------------------------------------
+
+type SimQueue = Bgpq<u32, u32, SimPlatform>;
+
+fn sim_opts(k: usize, blocks: usize, pairs: usize) -> BgpqOptions {
+    BgpqOptions {
+        node_capacity: k,
+        max_nodes: ((blocks * pairs).div_ceil(k) + blocks + 2).next_power_of_two(),
+        ..Default::default()
+    }
+}
+
+/// Naive mode on the simulator: each block agent issues 1-wide batches
+/// straight at the shared sim heap, paying the full lock round-trip in
+/// device time per key.
+fn sim_naive(blocks: usize, pairs: usize, k: usize) -> Cell {
+    let cfg = GpuConfig::new(blocks, 32).with_fuzz_seed(11);
+    let opts = sim_opts(k, blocks, pairs);
+    let (report, _q) = launch(
+        cfg,
+        |sched| {
+            let p = SimPlatform::new(sched, opts.max_nodes + 1, cfg.cost, cfg.block_dim);
+            Arc::new(Bgpq::with_platform(p, opts))
+        },
+        move |ctx, q: &Arc<SimQueue>| {
+            let bid = ctx.block_id() as u32;
+            let w = ctx.worker();
+            let mut out: Vec<Entry<u32, u32>> = Vec::with_capacity(1);
+            for i in 0..pairs as u32 {
+                let key = bid * 1_000_000 + i;
+                q.try_insert(w, &[Entry::new(key, key)]).expect("capacity holds");
+                out.clear();
+                q.try_delete_min(w, &mut out, 1).expect("healthy queue");
+            }
+        },
+    );
+    let ops = (2 * pairs * blocks) as f64;
+    Cell { throughput: ops / report.makespan_ms, mean_occupancy: 1.0, window: 0 }
+}
+
+/// Combining backend for a simulated block (same shape as the
+/// integration tests): batched calls to the shared sim heap, waiting
+/// yields virtual time through the platform's backoff, lane = block.
+struct SimBackend<'a> {
+    q: &'a SimQueue,
+    w: &'a mut SimWorker,
+    lane: usize,
+}
+
+impl CombineBackend<u32, u32> for SimBackend<'_> {
+    const CAN_PARK: bool = false;
+
+    fn batch_capacity(&self) -> usize {
+        self.q.node_capacity()
+    }
+
+    fn try_insert_batch(&mut self, items: &[Entry<u32, u32>]) -> Result<(), QueueError> {
+        self.q.try_insert(self.w, items)
+    }
+
+    fn try_delete_min_batch(
+        &mut self,
+        out: &mut Vec<Entry<u32, u32>>,
+        count: usize,
+    ) -> Result<usize, QueueError> {
+        self.q.try_delete_min(self.w, out, count)
+    }
+
+    fn relax(&mut self) {
+        self.q.platform().backoff(self.w);
+    }
+
+    fn lane(&self) -> usize {
+        self.lane
+    }
+}
+
+type SimFront = (Arc<SimQueue>, CombineShared<u32, u32>);
+
+/// Coalesced mode on the simulator: the same traffic through the
+/// combining front, polling in virtual time.
+fn sim_combined(blocks: usize, pairs: usize, k: usize) -> Cell {
+    let cfg = GpuConfig::new(blocks, 32).with_fuzz_seed(11);
+    let opts = sim_opts(k, blocks, pairs);
+    let (report, st) = launch(
+        cfg,
+        |sched| {
+            let p = SimPlatform::new(sched, opts.max_nodes + 1, cfg.cost, cfg.block_dim);
+            let q = Arc::new(Bgpq::with_platform(p, opts));
+            let front = CombineShared::new(q.node_capacity(), CombinerOptions::default());
+            let st: SimFront = (q, front);
+            st
+        },
+        move |ctx, st: &SimFront| {
+            let lane = ctx.block_id();
+            let mut backend = SimBackend { q: &st.0, w: ctx.worker(), lane };
+            let bid = lane as u32;
+            for i in 0..pairs as u32 {
+                let key = bid * 1_000_000 + i;
+                st.1.submit(&mut backend, Op::Insert(Entry::new(key, key)))
+                    .expect("capacity holds");
+                st.1.submit(&mut backend, Op::DeleteMin).expect("healthy front");
+            }
+        },
+    );
+    let (_, front) = st;
+    let snap = front.stats().snapshot();
+    if std::env::var_os("COALESCE_DEBUG").is_some() {
+        eprintln!(
+            "    [debug] blocks={blocks} inserts={} items_inserted={} delete_mins={} \
+             items_deleted={} hist={:?} window={}",
+            snap.inserts,
+            snap.items_inserted,
+            snap.delete_mins,
+            snap.items_deleted,
+            snap.batch_occupancy,
+            front.window()
+        );
+        eprintln!("    [debug] peak_pending={}", front.peak_pending());
+        eprintln!(
+            "    [debug] makespan={} finishes={:?}",
+            report.makespan_cycles, report.block_finish_cycles
+        );
+    }
+    let mean_occupancy =
+        if snap.inserts > 0 { snap.items_inserted as f64 / snap.inserts as f64 } else { 0.0 };
+    let ops = (2 * pairs * blocks) as f64;
+    Cell { throughput: ops / report.makespan_ms, mean_occupancy, window: front.window() }
+}
+
+// ---------------------------------------------------------------------
+// Reporting.
+// ---------------------------------------------------------------------
+
+struct Row {
+    submitters: usize,
+    naive: Cell,
+    combined: Cell,
+}
+
+impl Row {
+    fn ratio(&self) -> f64 {
+        self.combined.throughput / self.naive.throughput
+    }
+}
+
+fn sweep(
+    label: &str,
+    pairs: usize,
+    k: usize,
+    naive: impl Fn(usize, usize, usize) -> Cell,
+    combined: impl Fn(usize, usize, usize) -> Cell,
+) -> Vec<Row> {
+    let mut rows = Vec::new();
+    for &n in &SUBMITTERS {
+        let row = Row { submitters: n, naive: naive(n, pairs, k), combined: combined(n, pairs, k) };
+        eprintln!(
+            "  {label} x{n:>2}: naive {:>12.0}, coalesced {:>12.0} ({:.2}x, occupancy {:.2}, \
+             window {})",
+            row.naive.throughput,
+            row.combined.throughput,
+            row.ratio(),
+            row.combined.mean_occupancy,
+            row.combined.window
+        );
+        rows.push(row);
+    }
+    rows
+}
+
+fn json_rows(json: &mut String, rows: &[Row]) {
+    for (i, row) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"submitters\": {}, \"naive\": {:.1}, \"coalesced\": {:.1}, \
+             \"ratio\": {:.3}, \"mean_occupancy\": {:.3}, \"final_window\": {}}}{}",
+            row.submitters,
+            row.naive.throughput,
+            row.combined.throughput,
+            row.ratio(),
+            row.combined.mean_occupancy,
+            row.combined.window,
+            if i + 1 < rows.len() { ",\n" } else { "\n" }
+        ));
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let (cpu_pairs, sim_pairs) = pairs_per_submitter(args.scale);
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    eprintln!(
+        "coalesce: scale {:?}, k = {}, submitters {:?}, {} cpu pairs, {} sim pairs, {} host \
+         cores",
+        args.scale, args.k, SUBMITTERS, cpu_pairs, sim_pairs, host_cores
+    );
+
+    eprintln!("sim sweep (device time, ops per simulated ms):");
+    let sim_rows = sweep("sim", sim_pairs, args.k, sim_naive, sim_combined);
+    eprintln!("cpu sweep (wall clock, ops per second):");
+    let cpu_rows = sweep("cpu", cpu_pairs, args.k, cpu_naive, cpu_combined);
+
+    let dir = results_dir();
+    fs::create_dir_all(&dir).expect("create bench_results");
+
+    let mut table = Table::new(
+        "coalesce",
+        &["sweep", "submitters", "naive", "coalesced", "ratio", "mean_occupancy", "window"],
+    );
+    for (label, rows) in [("sim", &sim_rows), ("cpu", &cpu_rows)] {
+        for row in rows {
+            table.row(vec![
+                label.to_string(),
+                row.submitters.to_string(),
+                format!("{:.0}", row.naive.throughput),
+                format!("{:.0}", row.combined.throughput),
+                format!("{:.2}", row.ratio()),
+                format!("{:.2}", row.combined.mean_occupancy),
+                row.combined.window.to_string(),
+            ]);
+        }
+    }
+    table.print();
+    table.write_csv(&dir).expect("write csv");
+
+    // Acceptance: the loaded sim cells (≥ 8 concurrent submitters) in
+    // device time — the regime the front exists for. Best loaded cell
+    // must clear 2× with occupancy above half the node width.
+    let best = sim_rows
+        .iter()
+        .filter(|r| r.submitters >= 8)
+        .max_by(|a, b| a.ratio().partial_cmp(&b.ratio()).unwrap())
+        .expect("SUBMITTERS includes a loaded point");
+    let pass = best.ratio() >= 2.0 && best.combined.mean_occupancy > args.k as f64 / 2.0;
+    eprintln!(
+        "acceptance (sim, {} submitters): ratio {:.2} (need >= 2.0), occupancy {:.2} (need > \
+         {:.1}) => {}",
+        best.submitters,
+        best.ratio(),
+        best.combined.mean_occupancy,
+        args.k as f64 / 2.0,
+        if pass { "PASS" } else { "FAIL" }
+    );
+
+    let mut json = String::from("{\n");
+    json.push_str(&format!(
+        "  \"bench\": \"coalesce\",\n  \"scale\": \"{:?}\",\n  \"k\": {},\n  \
+         \"window_policy\": \"adaptive\",\n  \"host_cores\": {},\n  \
+         \"cpu_pairs_per_thread\": {},\n  \"sim_pairs_per_block\": {},\n",
+        args.scale, args.k, host_cores, cpu_pairs, sim_pairs
+    ));
+    json.push_str("  \"sim_device_time\": [\n");
+    json_rows(&mut json, &sim_rows);
+    json.push_str("  ],\n  \"cpu_wall_clock\": [\n");
+    json_rows(&mut json, &cpu_rows);
+    json.push_str(&format!(
+        "  ],\n  \"acceptance\": {{\"basis\": \"sim_device_time\", \"submitters\": {}, \
+         \"ratio\": {:.3}, \"mean_occupancy\": {:.3}, \"occupancy_floor\": {:.1}, \
+         \"pass\": {}}},\n",
+        best.submitters,
+        best.ratio(),
+        best.combined.mean_occupancy,
+        args.k as f64 / 2.0,
+        pass
+    ));
+    json.push_str(
+        "  \"note\": \"cpu_wall_clock cells on a single-core host serialize submitters in \
+         time slices, so arrivals never outpace service and rounds stay near-solo; the \
+         sim_device_time sweep models truly concurrent submitters and is the acceptance \
+         basis.\"\n}\n",
+    );
+    fs::write("BENCH_coalesce.json", &json).expect("write BENCH_coalesce.json");
+    eprintln!("wrote bench_results/coalesce.csv and BENCH_coalesce.json");
+}

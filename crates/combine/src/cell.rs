@@ -1,0 +1,189 @@
+//! Per-request completion slots.
+//!
+//! Every submitting thread owns one reusable [`OpCell`] per combiner
+//! instance (kept in a thread-local registry, so the steady state
+//! allocates nothing — publishing a request is an `Arc` refcount bump).
+//! The cell is a single-producer hand-off: the owner arms it, a
+//! combiner completes it exactly once, the owner takes the outcome and
+//! the cell returns to `IDLE` for the next request.
+//!
+//! Two waiting disciplines share the same cell:
+//!
+//! * **Parking** (CPU platform): the owner blocks on the cell's condvar.
+//!   The combiner publishes the outcome *under the slot mutex* before
+//!   notifying, and the owner re-checks the phase under the same mutex
+//!   before each wait, so a wakeup can never be lost.
+//! * **Polling** (sim platform): the owner spins on the atomic phase,
+//!   yielding through the backend's `relax` between probes, and only
+//!   touches the slot mutex after observing `DONE`. The mutex is never
+//!   held across a backoff — on the single-grant simulator that would
+//!   deadlock the scheduler.
+
+use parking_lot::{Condvar, Mutex};
+use pq_api::{Entry, KeyType, QueueError, ValueType};
+use std::any::{Any, TypeId};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::Arc;
+
+/// Cell is free for the owner to arm.
+const PHASE_IDLE: u8 = 0;
+/// Armed: the request is published (or about to be) and unserved.
+const PHASE_PENDING: u8 = 1;
+/// A combiner stored the outcome; the owner may take it.
+const PHASE_DONE: u8 = 2;
+
+/// One coalescable request, carried by value through the rings
+/// (`Entry` is `Copy`, so no per-op allocation).
+#[derive(Clone, Copy, Debug)]
+pub enum Op<K: KeyType, V: ValueType> {
+    Insert(Entry<K, V>),
+    DeleteMin,
+}
+
+/// Outcome of a coalesced request. Inserts complete with `Ok(None)`;
+/// deletes with `Ok(Some(entry))`, or `Ok(None)` when the queue ran
+/// out of items before reaching this waiter.
+pub type OpOutcome<K, V> = Result<Option<Entry<K, V>>, QueueError>;
+
+/// A reusable one-shot completion slot (see module docs).
+pub struct OpCell<K: KeyType, V: ValueType> {
+    /// `IDLE` → `PENDING` (owner) → `DONE` (combiner) → `IDLE` (owner).
+    phase: AtomicU8,
+    outcome: Mutex<Option<OpOutcome<K, V>>>,
+    wake: Condvar,
+}
+
+impl<K: KeyType, V: ValueType> OpCell<K, V> {
+    pub fn new() -> Self {
+        Self { phase: AtomicU8::new(PHASE_IDLE), outcome: Mutex::new(None), wake: Condvar::new() }
+    }
+
+    /// Owner side: claim the cell for a new request. Panics if the
+    /// previous request was not taken — the submit API is blocking, so
+    /// a thread can never have two requests outstanding.
+    pub fn arm(&self) {
+        let prev = self.phase.swap(PHASE_PENDING, Ordering::AcqRel);
+        assert_eq!(prev, PHASE_IDLE, "one outstanding combiner request per thread");
+    }
+
+    /// Combiner side: publish the outcome and wake a parked owner.
+    /// Must be called exactly once per armed request.
+    pub fn complete(&self, outcome: OpOutcome<K, V>) {
+        let mut slot = self.outcome.lock();
+        debug_assert!(slot.is_none(), "request completed twice");
+        *slot = Some(outcome);
+        // Published under the mutex: a parking owner re-checks the
+        // phase under this mutex, so the store cannot race a wait.
+        self.phase.store(PHASE_DONE, Ordering::Release);
+        drop(slot);
+        self.wake.notify_one();
+    }
+
+    /// Whether the outcome is ready (polling waiters probe this; no
+    /// lock is touched until it returns true).
+    pub fn is_done(&self) -> bool {
+        self.phase.load(Ordering::Acquire) == PHASE_DONE
+    }
+
+    /// Owner side: block until the outcome is ready (CPU platform only).
+    pub fn park_until_done(&self) {
+        let mut slot = self.outcome.lock();
+        while self.phase.load(Ordering::Acquire) != PHASE_DONE {
+            self.wake.wait(&mut slot);
+        }
+    }
+
+    /// Owner side: take the outcome and recycle the cell. Must only be
+    /// called after [`OpCell::is_done`] / [`OpCell::park_until_done`].
+    pub fn take(&self) -> OpOutcome<K, V> {
+        let mut slot = self.outcome.lock();
+        let out = slot.take().expect("take() before completion");
+        self.phase.store(PHASE_IDLE, Ordering::Release);
+        out
+    }
+}
+
+impl<K: KeyType, V: ValueType> Default for OpCell<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+thread_local! {
+    /// Per-thread cell registry, keyed by (combiner instance, cell
+    /// type). One blocking request per thread per combiner means one
+    /// cell each suffices; it is allocated on the thread's first
+    /// submit and reused for every request after.
+    static TL_CELLS: RefCell<HashMap<(u64, TypeId), Box<dyn Any>>> = RefCell::new(HashMap::new());
+}
+
+/// This thread's reusable cell for combiner `instance` (see
+/// [`TL_CELLS`]).
+pub(crate) fn thread_cell<K: KeyType, V: ValueType>(instance: u64) -> Arc<OpCell<K, V>> {
+    TL_CELLS.with(|m| {
+        m.borrow_mut()
+            .entry((instance, TypeId::of::<OpCell<K, V>>()))
+            .or_insert_with(|| Box::new(Arc::new(OpCell::<K, V>::new())))
+            .downcast_ref::<Arc<OpCell<K, V>>>()
+            .expect("registry entry has the keyed type")
+            .clone()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arm_complete_take_roundtrip() {
+        let c: OpCell<u32, u32> = OpCell::new();
+        c.arm();
+        assert!(!c.is_done());
+        c.complete(Ok(Some(Entry::new(3, 7))));
+        assert!(c.is_done());
+        assert_eq!(c.take(), Ok(Some(Entry::new(3, 7))));
+        // Recycled: can be armed again.
+        c.arm();
+        c.complete(Err(QueueError::Poisoned));
+        assert_eq!(c.take(), Err(QueueError::Poisoned));
+    }
+
+    #[test]
+    #[should_panic(expected = "one outstanding")]
+    fn double_arm_is_rejected() {
+        let c: OpCell<u32, u32> = OpCell::new();
+        c.arm();
+        c.arm();
+    }
+
+    #[test]
+    fn parked_owner_is_woken() {
+        let c: Arc<OpCell<u32, ()>> = Arc::new(OpCell::new());
+        c.arm();
+        let waiter = {
+            let c = c.clone();
+            std::thread::spawn(move || {
+                c.park_until_done();
+                c.take()
+            })
+        };
+        // Give the waiter a moment to actually park.
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        c.complete(Ok(None));
+        assert_eq!(waiter.join().unwrap(), Ok(None));
+    }
+
+    #[test]
+    fn thread_cells_are_stable_per_instance() {
+        let a = thread_cell::<u32, u32>(1);
+        let b = thread_cell::<u32, u32>(1);
+        assert!(Arc::ptr_eq(&a, &b), "same instance reuses the cell");
+        let c = thread_cell::<u32, u32>(2);
+        assert!(!Arc::ptr_eq(&a, &c), "instances are isolated");
+        let d = thread_cell::<u64, u32>(1);
+        // Different type under the same instance id is a distinct cell.
+        assert_eq!(Arc::strong_count(&d), 2);
+    }
+}

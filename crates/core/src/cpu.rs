@@ -3,7 +3,9 @@
 use crate::heap::Bgpq;
 use crate::options::BgpqOptions;
 use bgpq_runtime::{with_thread_worker, CpuPlatform, Platform};
-use pq_api::{BatchPriorityQueue, Entry, KeyType, QueueError, QueueFactory, ValueType};
+use pq_api::{
+    BatchPriorityQueue, Entry, KeyType, QueueError, QueueFactory, TryBatchPriorityQueue, ValueType,
+};
 
 /// BGPQ running on [`CpuPlatform`] (real `parking_lot` locks, real
 /// threads). Implements [`BatchPriorityQueue`] so the application
@@ -73,6 +75,23 @@ impl<K: KeyType, V: ValueType> BatchPriorityQueue<K, V> for CpuBgpq<K, V> {
 
     fn len(&self) -> usize {
         self.inner.len()
+    }
+}
+
+/// Route the trait's fallible entry points to the real hardened paths
+/// so generic fronts (the coalescing combiner) see `Full` / `Poisoned`
+/// / `LockTimeout` as values instead of panics.
+impl<K: KeyType, V: ValueType> TryBatchPriorityQueue<K, V> for CpuBgpq<K, V> {
+    fn try_insert_batch(&self, items: &[Entry<K, V>]) -> Result<(), QueueError> {
+        CpuBgpq::try_insert_batch(self, items)
+    }
+
+    fn try_delete_min_batch(
+        &self,
+        out: &mut Vec<Entry<K, V>>,
+        count: usize,
+    ) -> Result<usize, QueueError> {
+        CpuBgpq::try_delete_min_batch(self, out, count)
     }
 }
 

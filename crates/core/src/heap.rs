@@ -570,6 +570,9 @@ impl<K: KeyType, V: ValueType, P: Platform> Bgpq<K, V, P> {
         let mut s = self.take_scratch(w);
         let r = self.try_insert_with(w, items, &mut s);
         self.put_scratch(w, s);
+        if r.is_ok() {
+            self.stats.record_batch_occupancy(items.len(), self.opts.node_capacity);
+        }
         r
     }
 
@@ -852,6 +855,11 @@ impl<K: KeyType, V: ValueType, P: Platform> Bgpq<K, V, P> {
         let mut s = self.take_scratch(w);
         let r = self.try_delete_min_with(w, out, count, &mut s);
         self.put_scratch(w, s);
+        if let Ok(n) = r {
+            if n > 0 {
+                self.stats.record_batch_occupancy(n, self.opts.node_capacity);
+            }
+        }
         r
     }
 

@@ -32,7 +32,7 @@ pub mod fault;
 pub mod platform;
 pub mod sim;
 
-pub use cpu::{with_thread_worker, CpuPlatform, CpuWorker};
+pub use cpu::{with_thread_worker, worker_id, CpuPlatform, CpuWorker};
 pub use fault::{FaultAction, FaultPlan, FaultRule, InjectionPoint};
 pub use platform::{LockFailure, Platform};
 pub use sim::SimPlatform;

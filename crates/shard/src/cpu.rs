@@ -10,30 +10,21 @@
 
 use crate::router::{ShardedBgpq, ShardedOptions};
 use bgpq_runtime::{with_thread_worker, CpuPlatform};
-use pq_api::{BatchPriorityQueue, Entry, KeyType, PriorityQueue, QueueFactory, ValueType};
+use pq_api::{
+    BatchPriorityQueue, Entry, KeyType, PriorityQueue, QueueFactory, TryBatchPriorityQueue,
+    ValueType,
+};
 use std::cell::Cell;
-use std::sync::atomic::{AtomicUsize, Ordering};
-
-static WORKER_TICKET: AtomicUsize = AtomicUsize::new(0);
 
 thread_local! {
-    static WORKER_ID: Cell<usize> = const { Cell::new(usize::MAX) };
     static RNG_STATE: Cell<u64> = const { Cell::new(0) };
 }
 
 /// Stable, dense id of the calling thread (0, 1, 2, … in first-use
-/// order, shared by every sharded queue in the process).
-pub fn worker_id() -> usize {
-    WORKER_ID.with(|c| {
-        let v = c.get();
-        if v != usize::MAX {
-            return v;
-        }
-        let id = WORKER_TICKET.fetch_add(1, Ordering::Relaxed);
-        c.set(id);
-        id
-    })
-}
+/// order, shared by every sharded queue in the process). Re-exported
+/// from the runtime's process-wide ticket so the shard router and the
+/// combiner front agree on thread identity.
+pub use bgpq_runtime::worker_id;
 
 /// Run `f` with this thread's sampling-RNG state (lazily seeded from
 /// the worker id via splitmix64).
@@ -113,6 +104,23 @@ impl<K: KeyType, V: ValueType> BatchPriorityQueue<K, V> for CpuShardedBgpq<K, V>
 
     fn len(&self) -> usize {
         self.inner.len()
+    }
+}
+
+/// Route the trait's fallible entry points to the sticky-affinity
+/// hardened paths so generic fronts (the coalescing combiner) observe
+/// backpressure and shard fail-over as typed errors.
+impl<K: KeyType, V: ValueType> TryBatchPriorityQueue<K, V> for CpuShardedBgpq<K, V> {
+    fn try_insert_batch(&self, items: &[Entry<K, V>]) -> Result<(), pq_api::QueueError> {
+        CpuShardedBgpq::try_insert_batch(self, items)
+    }
+
+    fn try_delete_min_batch(
+        &self,
+        out: &mut Vec<Entry<K, V>>,
+        count: usize,
+    ) -> Result<usize, pq_api::QueueError> {
+        CpuShardedBgpq::try_delete_min_batch(self, out, count)
     }
 }
 
