@@ -15,8 +15,12 @@
 //!   via [`ItemwiseBatch`].
 //! * [`OpStats`] — cheap atomic operation counters shared by all
 //!   implementations so the bench harness can report contention metrics.
-//! * [`QueueError`] — typed failures (`Full`, `Poisoned`, `LockTimeout`)
-//!   returned by the hardened `try_*` queue entry points.
+//! * [`QueueError`] — typed failures (`Full`, `Poisoned`, `LockTimeout`,
+//!   `Unavailable`) returned by the hardened `try_*` queue entry points.
+//! * [`RetryPolicy`] / [`Deadline`] / [`Retrying`] — bounded
+//!   retry-with-backoff for the transient error classes, so callers
+//!   ride out a lock-holder unwind or a front's recovery window
+//!   without hand-rolled loops.
 //! * [`ScratchSlot`] — the type-keyed per-worker parking spot through
 //!   which queue implementations keep their hot-path scratch arenas
 //!   alive between operations (zero steady-state allocations).
@@ -27,6 +31,7 @@
 pub mod entry;
 pub mod error;
 pub mod key;
+pub mod policy;
 pub mod pq;
 pub mod scratch;
 pub mod stats;
@@ -34,6 +39,7 @@ pub mod stats;
 pub use entry::Entry;
 pub use error::QueueError;
 pub use key::{KeyType, ValueType};
+pub use policy::{Deadline, RetryPolicy, Retrying};
 pub use pq::{
     BatchPriorityQueue, ItemwiseBatch, PriorityQueue, QueueFactory, TryBatchPriorityQueue,
 };

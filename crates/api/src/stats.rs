@@ -67,6 +67,10 @@ pub struct OpStats {
     /// Shards quarantined by a sharded router after this queue (or a
     /// sibling) failed.
     pub shard_quarantines: AtomicU64,
+    /// Salvage passes that rebuilt this queue from poisoned node
+    /// storage (see the `bgpq-recover` crate): the queue was reset to
+    /// a fresh empty state after its surviving keys were walked out.
+    pub salvages: AtomicU64,
     /// Batch-occupancy histogram: how full each issued batch was
     /// relative to the capacity it could have used (see
     /// [`occupancy_bucket`]). Every front that issues batches — the
@@ -116,6 +120,7 @@ impl OpStats {
             spin_escalations: ld(&self.spin_escalations),
             poison_events: ld(&self.poison_events),
             shard_quarantines: ld(&self.shard_quarantines),
+            salvages: ld(&self.salvages),
             batch_occupancy: std::array::from_fn(|i| ld(&self.batch_occupancy[i])),
         }
     }
@@ -143,6 +148,7 @@ impl OpStats {
         fold(&self.spin_escalations, &other.spin_escalations);
         fold(&self.poison_events, &other.poison_events);
         fold(&self.shard_quarantines, &other.shard_quarantines);
+        fold(&self.salvages, &other.salvages);
         for (dst, src) in self.batch_occupancy.iter().zip(&other.batch_occupancy) {
             fold(dst, src);
         }
@@ -166,6 +172,7 @@ impl OpStats {
         st(&self.spin_escalations);
         st(&self.poison_events);
         st(&self.shard_quarantines);
+        st(&self.salvages);
         for b in &self.batch_occupancy {
             st(b);
         }
@@ -190,6 +197,7 @@ pub struct StatsSnapshot {
     pub spin_escalations: u64,
     pub poison_events: u64,
     pub shard_quarantines: u64,
+    pub salvages: u64,
     pub batch_occupancy: [u64; OCCUPANCY_BUCKETS],
 }
 
@@ -213,6 +221,7 @@ impl std::ops::Add for StatsSnapshot {
             spin_escalations: self.spin_escalations + rhs.spin_escalations,
             poison_events: self.poison_events + rhs.poison_events,
             shard_quarantines: self.shard_quarantines + rhs.shard_quarantines,
+            salvages: self.salvages + rhs.salvages,
             batch_occupancy: std::array::from_fn(|i| {
                 self.batch_occupancy[i] + rhs.batch_occupancy[i]
             }),
@@ -305,7 +314,7 @@ mod tests {
         let a = OpStats::new();
         let b = OpStats::new();
         // Distinct primes per counter so a missed field can't cancel out.
-        fn fields(s: &OpStats) -> [(&AtomicU64, u64); 17] {
+        fn fields(s: &OpStats) -> [(&AtomicU64, u64); 18] {
             [
                 (&s.inserts, 2u64),
                 (&s.delete_mins, 3),
@@ -322,8 +331,9 @@ mod tests {
                 (&s.spin_escalations, 41),
                 (&s.poison_events, 43),
                 (&s.shard_quarantines, 47),
-                (&s.batch_occupancy[0], 53),
-                (&s.batch_occupancy[OCCUPANCY_BUCKETS - 1], 59),
+                (&s.salvages, 53),
+                (&s.batch_occupancy[0], 59),
+                (&s.batch_occupancy[OCCUPANCY_BUCKETS - 1], 61),
             ]
         }
         for (c, n) in fields(&a) {

@@ -73,6 +73,9 @@ struct Cell {
     steals: u64,
     sweeps: u64,
     imbalance: f64,
+    salvages: u64,
+    readmissions: u64,
+    keys_lost: u64,
 }
 
 /// One timed trial: preload, paired insert+delete phase, drain.
@@ -149,6 +152,9 @@ fn trial(shards: usize, sample: usize, threads: usize, batch: usize, scale: Scal
         steals: quality.steals,
         sweeps: quality.full_sweeps,
         imbalance,
+        salvages: quality.salvages,
+        readmissions: quality.readmissions,
+        keys_lost: quality.keys_lost,
     }
 }
 
@@ -167,6 +173,12 @@ fn main() {
             "steals",
             "sweeps",
             "imbalance",
+            // Recovery counters: all zero on this healthy sweep (no
+            // faults armed); surfaced so regressions that spuriously
+            // trip the breaker show up in the CSV trajectory.
+            "salvages",
+            "readmit",
+            "keys_lost",
         ],
     );
     for &shards in &[1usize, 2, 4, 8] {
@@ -187,6 +199,9 @@ fn main() {
                     cell.steals.to_string(),
                     cell.sweeps.to_string(),
                     format!("{:.2}", cell.imbalance),
+                    cell.salvages.to_string(),
+                    cell.readmissions.to_string(),
+                    cell.keys_lost.to_string(),
                 ]);
             }
         }

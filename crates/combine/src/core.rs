@@ -44,12 +44,19 @@
 //! # Failure containment
 //!
 //! Backend calls run under `catch_unwind`. A panic or a
-//! [`QueueError::Poisoned`] poisons the *front*: every queued and
-//! future request fails fast with `Poisoned` — submitters get a typed
-//! error, never a hang. `LockTimeout` is distributed to the affected
-//! round only (the front stays live), and a `Full` insert round falls
-//! back to per-request submission so the requests that individually
-//! fit still succeed.
+//! [`QueueError::Poisoned`] trips the front *unavailable*: the
+//! requests of the affected round get `Poisoned` (the structural
+//! verdict they observed), and later submissions fail fast with
+//! [`QueueError::Unavailable`] — a front state, not a verdict —
+//! without touching the backend. Every [`PROBE_INTERVAL`]-th
+//! submission while unavailable is let through as a **probe**: it runs
+//! the full protocol against the backend, and if the backend serves it
+//! (it was salvaged and re-admitted underneath, e.g. by `bgpq-shard`'s
+//! circuit breaker or a `bgpq-recover` rebuild), the front clears the
+//! trip and resumes normal service. `LockTimeout` is distributed to
+//! the affected round only (the front stays live), and a `Full` insert
+//! round falls back to per-request submission so the requests that
+//! individually fit still succeed.
 
 use crate::cell::{thread_cell, Op, OpCell, OpOutcome};
 use parking_lot::Mutex;
@@ -87,6 +94,13 @@ const SESSION_ROUNDS: u32 = 8;
 /// How often a spinning waiter re-tries the combiner lock (every
 /// 2^RETRY_SHIFT relax steps) — the accept side of the tenure handoff.
 const RETRY_SHIFT: u32 = 5;
+
+/// While the front is tripped unavailable, one submission in this many
+/// is let through as a probe against the backend; the rest fail fast
+/// with [`QueueError::Unavailable`]. Small enough that a recovered
+/// backend is rediscovered within tens of requests, large enough that
+/// a dead one is not hammered.
+pub const PROBE_INTERVAL: u64 = 16;
 
 /// What a combiner drives: the batched backend plus the platform's
 /// notion of how to wait. Each submitting worker supplies its own
@@ -194,7 +208,13 @@ pub struct CombineShared<K: KeyType, V: ValueType> {
     /// round keeps both kinds near full batches; [`Self::issue`]
     /// chunks anything oversized into `≤ k` backend calls.
     window: AtomicUsize,
+    /// Tripped-unavailable flag: set when a backend call crashed or
+    /// reported `Poisoned`, cleared when a probe gets served. See the
+    /// module docs' failure-containment section.
     poisoned: AtomicBool,
+    /// Submissions rejected (or admitted as probes) since the trip;
+    /// drives the 1-in-[`PROBE_INTERVAL`] probe cadence.
+    unavail_ticket: AtomicU64,
     combiner: Mutex<CombineScratch<K, V>>,
     stats: OpStats,
     batch_capacity: usize,
@@ -212,6 +232,7 @@ impl<K: KeyType, V: ValueType> CombineShared<K, V> {
             peak_pending: AtomicUsize::new(0),
             window: AtomicUsize::new(opts.initial_window.clamp(1, 2 * batch_capacity)),
             poisoned: AtomicBool::new(false),
+            unavail_ticket: AtomicU64::new(0),
             combiner: Mutex::new(CombineScratch {
                 round: Vec::new(),
                 backlog: 0,
@@ -257,8 +278,9 @@ impl<K: KeyType, V: ValueType> CombineShared<K, V> {
         2 * self.batch_capacity
     }
 
-    /// Whether a backend crash has poisoned this front (all requests
-    /// now fail fast with [`QueueError::Poisoned`]).
+    /// Whether a backend crash has tripped this front unavailable
+    /// (most requests now fail fast with [`QueueError::Unavailable`];
+    /// probes still go through and can restore service).
     pub fn is_poisoned(&self) -> bool {
         self.poisoned.load(Ordering::Acquire)
     }
@@ -271,7 +293,18 @@ impl<K: KeyType, V: ValueType> CombineShared<K, V> {
         op: Op<K, V>,
     ) -> OpOutcome<K, V> {
         if self.is_poisoned() {
-            return Err(QueueError::Poisoned);
+            let t = self.unavail_ticket.fetch_add(1, Ordering::Relaxed);
+            if !t.is_multiple_of(PROBE_INTERVAL) {
+                // Fast-fail without touching the backend: the caller
+                // keeps its key and may retry after backoff (see
+                // `pq_api::RetryPolicy`).
+                return Err(QueueError::Unavailable);
+            }
+            // This submission is a probe: it runs the full protocol
+            // and actually calls the backend. If the backend was
+            // healed underneath (salvage + re-admission), the served
+            // round clears the trip; if it is still down, the probe
+            // reports `Poisoned` honestly.
         }
         let cell = thread_cell::<K, V>(self.instance);
         cell.arm();
@@ -428,14 +461,6 @@ impl<K: KeyType, V: ValueType> CombineShared<K, V> {
                 Op::DeleteMin => s.delete_cells.push(cell),
             }
         }
-        if self.is_poisoned() {
-            // A previous round crashed the backend; fail everything
-            // still queued without touching it again.
-            for cell in s.insert_cells.drain(..).chain(s.delete_cells.drain(..)) {
-                self.finish(&cell, Err(QueueError::Poisoned));
-            }
-            return;
-        }
         // Per-round composition trace (COMBINE_TRACE=1): the tool that
         // found both the stale-backlog window bug and the combiner
         // starvation cycle; kept for the next schedule investigation.
@@ -451,12 +476,17 @@ impl<K: KeyType, V: ValueType> CombineShared<K, V> {
                 s.backlog
             );
         }
+        // One trip per round: after a chunk crashes the backend, the
+        // rest of this round fails typed without touching it again. A
+        // *later* round may touch it — that is how probes re-test a
+        // tripped backend (module docs, failure containment).
+        let mut tripped = false;
         let mut backpressure = false;
         if !s.insert_buf.is_empty() {
-            backpressure = self.issue_inserts(backend, s);
+            backpressure = self.issue_inserts(backend, s, &mut tripped);
         }
         if !s.delete_cells.is_empty() {
-            self.issue_deletes(backend, s);
+            self.issue_deletes(backend, s, &mut tripped);
         }
         if backpressure {
             // The backend is out of space; wide rounds only amplify
@@ -473,14 +503,15 @@ impl<K: KeyType, V: ValueType> CombineShared<K, V> {
         &self,
         backend: &mut B,
         s: &mut CombineScratch<K, V>,
+        tripped: &mut bool,
     ) -> bool {
         let total = s.insert_buf.len();
         let mut saw_full = false;
         let mut done = 0;
         while done < total {
-            if self.is_poisoned() {
-                // An earlier chunk crashed the backend; fail the rest
-                // without touching it again.
+            if *tripped {
+                // An earlier chunk of this round crashed the backend;
+                // fail the rest without touching it again.
                 for cell in &s.insert_cells[done..total] {
                     self.finish(cell, Err(QueueError::Poisoned));
                 }
@@ -491,6 +522,7 @@ impl<K: KeyType, V: ValueType> CombineShared<K, V> {
             let n = chunk.len();
             match catch_unwind(AssertUnwindSafe(|| backend.try_insert_batch(chunk))) {
                 Ok(Ok(())) => {
+                    self.mark_available();
                     OpStats::bump(&self.stats.inserts);
                     OpStats::add(&self.stats.items_inserted, n as u64);
                     self.stats.record_batch_occupancy(n, self.batch_capacity);
@@ -505,8 +537,13 @@ impl<K: KeyType, V: ValueType> CombineShared<K, V> {
                     saw_full = true;
                     for (cell, e) in s.insert_cells[done..end].iter().zip(chunk) {
                         let one = std::slice::from_ref(e);
+                        if *tripped {
+                            self.finish(cell, Err(QueueError::Poisoned));
+                            continue;
+                        }
                         match catch_unwind(AssertUnwindSafe(|| backend.try_insert_batch(one))) {
                             Ok(Ok(())) => {
+                                self.mark_available();
                                 OpStats::bump(&self.stats.inserts);
                                 OpStats::add(&self.stats.items_inserted, 1);
                                 self.stats.record_batch_occupancy(1, self.batch_capacity);
@@ -514,6 +551,7 @@ impl<K: KeyType, V: ValueType> CombineShared<K, V> {
                             }
                             Ok(Err(QueueError::Poisoned)) | Err(_) => {
                                 self.poison_front();
+                                *tripped = true;
                                 self.finish(cell, Err(QueueError::Poisoned));
                             }
                             Ok(Err(err)) => self.finish(cell, Err(err)),
@@ -523,6 +561,7 @@ impl<K: KeyType, V: ValueType> CombineShared<K, V> {
                 Ok(Err(err)) => {
                     if matches!(err, QueueError::Poisoned) {
                         self.poison_front();
+                        *tripped = true;
                     }
                     saw_full |= matches!(err, QueueError::Full { .. });
                     // `Full` (n == 1) and `LockTimeout` are per-chunk:
@@ -535,8 +574,9 @@ impl<K: KeyType, V: ValueType> CombineShared<K, V> {
                 Err(_panic) => {
                     // The backend unwound mid-call (injected fault,
                     // bug). Its own poison guard has already marked the
-                    // queue; mark the front and fail typed-ly.
+                    // queue; trip the front and fail typed-ly.
                     self.poison_front();
+                    *tripped = true;
                     for cell in &s.insert_cells[done..end] {
                         self.finish(cell, Err(QueueError::Poisoned));
                     }
@@ -556,12 +596,13 @@ impl<K: KeyType, V: ValueType> CombineShared<K, V> {
         &self,
         backend: &mut B,
         s: &mut CombineScratch<K, V>,
+        tripped: &mut bool,
     ) {
         let total = s.delete_cells.len();
         s.delete_out.clear();
         let mut done = 0;
         while done < total {
-            if self.is_poisoned() {
+            if *tripped {
                 for cell in &s.delete_cells[done..total] {
                     self.finish(cell, Err(QueueError::Poisoned));
                 }
@@ -572,6 +613,7 @@ impl<K: KeyType, V: ValueType> CombineShared<K, V> {
             let out = &mut s.delete_out;
             match catch_unwind(AssertUnwindSafe(|| backend.try_delete_min_batch(out, n))) {
                 Ok(Ok(got)) => {
+                    self.mark_available();
                     OpStats::bump(&self.stats.delete_mins);
                     OpStats::add(&self.stats.items_deleted, got as u64);
                     self.stats.record_batch_occupancy(n, self.batch_capacity);
@@ -585,6 +627,7 @@ impl<K: KeyType, V: ValueType> CombineShared<K, V> {
                 Ok(Err(err)) => {
                     if matches!(err, QueueError::Poisoned) {
                         self.poison_front();
+                        *tripped = true;
                     }
                     for cell in &s.delete_cells[done..done + n] {
                         self.finish(cell, Err(err.clone()));
@@ -592,6 +635,7 @@ impl<K: KeyType, V: ValueType> CombineShared<K, V> {
                 }
                 Err(_panic) => {
                     self.poison_front();
+                    *tripped = true;
                     for cell in &s.delete_cells[done..done + n] {
                         self.finish(cell, Err(QueueError::Poisoned));
                     }
@@ -608,9 +652,21 @@ impl<K: KeyType, V: ValueType> CombineShared<K, V> {
         self.pending.fetch_sub(1, Ordering::SeqCst);
     }
 
+    /// Trip the front unavailable. The ticket restarts at 1 so the
+    /// next [`PROBE_INTERVAL`]` - 1` submissions fast-fail before the
+    /// first probe is let through.
     fn poison_front(&self) {
         if !self.poisoned.swap(true, Ordering::AcqRel) {
+            self.unavail_ticket.store(1, Ordering::Relaxed);
             OpStats::bump(&self.stats.poison_events);
+        }
+    }
+
+    /// A backend call was served: if the front was tripped, restore it
+    /// (the probe proved the backend healthy again).
+    fn mark_available(&self) {
+        if self.poisoned.load(Ordering::Relaxed) {
+            self.poisoned.store(false, Ordering::Release);
         }
     }
 
@@ -724,16 +780,67 @@ mod tests {
     }
 
     #[test]
-    fn backend_panic_poisons_the_front() {
+    fn backend_panic_trips_the_front_and_a_probe_restores_it() {
         let sh: CombineShared<u32, u32> = CombineShared::new(8, CombinerOptions::default());
         let mut b = VecBackend::new(8);
         b.panic_next = true;
         assert_eq!(sh.submit(&mut b, Op::Insert(Entry::new(1, 1))), Err(QueueError::Poisoned));
         assert!(sh.is_poisoned());
-        b.panic_next = false;
-        // Fast-fail from now on, without touching the backend.
-        assert_eq!(sh.submit(&mut b, Op::DeleteMin), Err(QueueError::Poisoned));
         assert_eq!(sh.stats().snapshot().poison_events, 1);
+
+        // The backend heals (a salvage underneath). Submissions fast-
+        // fail Unavailable without touching it, until the probe slot
+        // comes around and restores service.
+        b.panic_next = false;
+        let mut unavailable = 0u64;
+        let mut restored_at = None;
+        for i in 0..2 * PROBE_INTERVAL as u32 {
+            match sh.submit(&mut b, Op::Insert(Entry::new(10 + i, 0))) {
+                Err(QueueError::Unavailable) => unavailable += 1,
+                Ok(None) => {
+                    restored_at = Some(i);
+                    break;
+                }
+                other => panic!("unexpected probe outcome: {other:?}"),
+            }
+        }
+        assert_eq!(unavailable, PROBE_INTERVAL - 1, "exactly the pre-probe window fast-fails");
+        assert_eq!(restored_at, Some(PROBE_INTERVAL as u32 - 1), "the probe itself is served");
+        assert!(!sh.is_poisoned(), "a served probe clears the trip");
+
+        // Fully back in service, and the fast-failed callers kept
+        // their keys: only the probe's insert is in the backend.
+        assert_eq!(sh.submit(&mut b, Op::DeleteMin).unwrap().map(|e| e.key), Some(25));
+        assert_eq!(sh.submit(&mut b, Op::DeleteMin), Ok(None));
+        assert_eq!(sh.stats().snapshot().poison_events, 1, "one trip, one event");
+    }
+
+    #[test]
+    fn probes_against_a_dead_backend_stay_unavailable() {
+        let sh: CombineShared<u32, u32> = CombineShared::new(8, CombinerOptions::default());
+        let mut b = VecBackend::new(8);
+        b.panic_next = true;
+        assert_eq!(sh.submit(&mut b, Op::DeleteMin), Err(QueueError::Poisoned));
+
+        // Still dead: non-probe submissions fast-fail, probe
+        // submissions reach the backend, observe the crash, and report
+        // the structural verdict — the front stays tripped either way.
+        let mut verdicts = (0u64, 0u64);
+        for _ in 0..3 * PROBE_INTERVAL {
+            match sh.submit(&mut b, Op::DeleteMin) {
+                Err(QueueError::Unavailable) => verdicts.0 += 1,
+                Err(QueueError::Poisoned) => verdicts.1 += 1,
+                other => panic!("unexpected outcome: {other:?}"),
+            }
+        }
+        assert_eq!(verdicts.1, 3, "one probe per interval reaches the backend");
+        assert_eq!(verdicts.0, 3 * PROBE_INTERVAL - 3);
+        assert!(sh.is_poisoned());
+        assert_eq!(
+            sh.stats().snapshot().poison_events,
+            1,
+            "re-trips of a tripped front do not recount"
+        );
     }
 
     #[test]

@@ -1249,6 +1249,132 @@ fn sort_split_two<K: KeyType, V: ValueType>(
     sort_split_full(small_side, large_side, scratch);
 }
 
+/// What a [`Bgpq::salvage_reset`] walk found and did. The caller-facing
+/// accounting lives in `bgpq-recover`'s `SalvageReport`; this is the
+/// raw storage-level outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SalvageOutcome {
+    /// Entries walked out of node storage into the caller's buffer.
+    pub recovered: usize,
+    /// The queue's item count at the moment of salvage (clamped at 0).
+    /// An upper bound on the keys that were settled: a worker that
+    /// crashed *before* its insert linearized has already bumped the
+    /// count for keys its caller still owns (see `try_insert` docs), so
+    /// `expected - recovered` can over-report loss — never under.
+    pub expected: usize,
+    /// Nodes skipped in TARGET state: reserved by an in-flight insert
+    /// whose keys died on the crashed worker's stack.
+    pub skipped_target: usize,
+    /// Nodes skipped in MARKED state: a collaboration was in flight;
+    /// the stolen keys died with whichever worker held them.
+    pub skipped_marked: usize,
+    /// Whether the queue was poisoned when salvage began.
+    pub was_poisoned: bool,
+}
+
+impl SalvageOutcome {
+    /// Keys confirmed or conservatively presumed lost to in-flight
+    /// operations: everything the item count promised but the walk
+    /// could not find. Zero on a quiescent healthy queue.
+    pub fn lost(&self) -> usize {
+        self.expected.saturating_sub(self.recovered)
+    }
+}
+
+impl<K: KeyType, V: ValueType, P: Platform> Bgpq<K, V, P> {
+    /// Salvage: walk every settled key out of node storage into `out`,
+    /// then reset the queue to a fresh empty (un-poisoned) state.
+    ///
+    /// **Exclusive and quiescent only** — the same contract as
+    /// [`Bgpq::check_invariants`], but stronger in practice: every
+    /// worker that ever operated on this queue must have returned or
+    /// unwound, and none may call in while salvage runs. Lock words
+    /// abandoned by crashed workers are *not* touched here (a generic
+    /// platform cannot force-release them); CPU recovery resets them
+    /// first via `CpuPlatform::force_reset_locks`.
+    ///
+    /// The walk trusts node *states*, which every mutation path keeps
+    /// accurate between injection points:
+    ///
+    /// * root — counted when `AVAIL` (`root_len` live entries). An
+    ///   `EMPTY` root mid-refill is skipped; its keys are reported
+    ///   lost rather than risk double-counting the refill source node.
+    /// * partial buffer — `buf_len` entries, always (it shares the
+    ///   root's lock and has no state machine of its own).
+    /// * every other node slot, `2..=max_nodes` — counted when `AVAIL`
+    ///   (full `k` entries), *regardless of `heap_size`*: a crashed
+    ///   delete may have already decremented `heap_size` while its
+    ///   refill source still holds keys. `TARGET`/`MARKED` slots are
+    ///   skipped and tallied — those keys were in flight on a dead
+    ///   worker's stack.
+    ///
+    /// The reset happens only after the walk completes: a second fault
+    /// during the walk (the `SalvageWalk` injection point fires per
+    /// visited node) leaves the queue still poisoned and salvageable
+    /// again. `out` may then hold a partial walk — callers re-running
+    /// salvage must discard it (the entries are still in storage).
+    ///
+    /// Works on healthy queues too (drain-and-reset), where
+    /// `lost() == 0` at quiescence.
+    pub fn salvage_reset(&self, w: &mut P::Worker, out: &mut Vec<Entry<K, V>>) -> SalvageOutcome {
+        let was_poisoned = self.is_poisoned();
+        let k = self.opts.node_capacity;
+        let expected = self.items.load(Ordering::SeqCst).max(0) as usize;
+        let mut recovered = 0usize;
+        let mut skipped_target = 0usize;
+        let mut skipped_marked = 0usize;
+
+        // ---- walk (no mutation) ----
+        // SAFETY: exclusivity/quiescence is the caller's contract; no
+        // other thread touches storage or meta.
+        unsafe {
+            let m = *self.storage.meta_mut();
+            self.platform.inject(w, InjectionPoint::SalvageWalk);
+            if self.storage.state(ROOT) == NodeState::Avail && m.root_len > 0 {
+                out.extend_from_slice(&self.storage.node_ref(ROOT)[..m.root_len.min(k)]);
+                recovered += m.root_len.min(k);
+            }
+            if m.buf_len > 0 {
+                out.extend_from_slice(&self.storage.node_ref(PBUFFER)[..m.buf_len.min(k)]);
+                recovered += m.buf_len.min(k);
+            }
+            for node in 2..=self.opts.max_nodes {
+                match self.storage.state(node) {
+                    NodeState::Avail => {
+                        self.platform.inject(w, InjectionPoint::SalvageWalk);
+                        out.extend_from_slice(self.storage.node_ref(node));
+                        recovered += k;
+                    }
+                    NodeState::Target => skipped_target += 1,
+                    NodeState::Marked => skipped_marked += 1,
+                    NodeState::Empty => {}
+                }
+            }
+        }
+
+        // ---- reset to the fresh empty state ----
+        // SAFETY: same exclusivity contract.
+        unsafe {
+            let m = self.storage.meta_mut();
+            m.heap_size = 0;
+            m.root_len = 0;
+            m.buf_len = 0;
+        }
+        for node in 0..=self.opts.max_nodes {
+            self.storage.set_state(node, NodeState::Empty);
+        }
+        self.items.store(0, Ordering::SeqCst);
+        self.root_min_bits.store(u64::MAX, Ordering::SeqCst);
+        // Un-poison last: a freshly grabbable queue must already look
+        // empty. `seq` is deliberately preserved — linearization
+        // ordinals stay monotone across the queue's lifetimes.
+        self.poisoned.store(false, Ordering::SeqCst);
+        OpStats::bump(&self.stats.salvages);
+
+        SalvageOutcome { recovered, expected, skipped_target, skipped_marked, was_poisoned }
+    }
+}
+
 // ----------------------------------------------------------------------
 // Quiescent invariant checking (test support)
 // ----------------------------------------------------------------------

@@ -42,7 +42,7 @@ pub mod storage;
 pub mod tree;
 
 pub use cpu::{CpuBgpq, CpuBgpqFactory};
-pub use heap::Bgpq;
+pub use heap::{Bgpq, SalvageOutcome};
 pub use history::{
     check_collaboration, check_history, HistoryEvent, HistoryOp, HistoryViolation, ProtocolEvent,
     ProtocolKind,

@@ -187,6 +187,7 @@ fn point_name(p: InjectionPoint) -> &'static str {
         InjectionPoint::MidInsertHeapify => "mid-insert-heapify",
         InjectionPoint::MidDeleteHeapify => "mid-delete-heapify",
         InjectionPoint::MarkedSpin => "marked-spin",
+        InjectionPoint::SalvageWalk => "salvage-walk",
     }
 }
 

@@ -137,6 +137,30 @@ impl CpuPlatform {
         self.faults.as_ref()
     }
 
+    /// Force every lock in the table back to the released state,
+    /// clearing the watchdog's holder tokens.
+    ///
+    /// **Recovery only.** A poisoned queue can leave locks held by
+    /// workers that panicked past their RAII release (e.g. a stalled
+    /// thread killed by its driver) — nothing will ever unlock them.
+    /// Salvage (`bgpq-recover`) calls this *after* establishing
+    /// quiescence: the caller must guarantee no worker is inside or
+    /// will enter a critical section on this platform, otherwise a
+    /// still-running holder's mutual exclusion is silently destroyed.
+    /// Sound here because the vendored `parking_lot` raw mutex is a
+    /// plain atomic flag with no owner bookkeeping or parked waiters —
+    /// releasing from a non-owner thread is well-defined.
+    pub fn force_reset_locks(&self) {
+        for (lock, holder) in self.locks.iter().zip(self.holders.iter()) {
+            // Acquire if free so the unlock below is always paired;
+            // if held (by a dead worker, per the contract) the unlock
+            // alone performs the forced release.
+            let _ = lock.try_lock();
+            unsafe { lock.unlock() };
+            holder.store(0, Ordering::Relaxed);
+        }
+    }
+
     /// Diagnostic dump for a watchdog report: the contended lock's
     /// holder token plus every currently held lock (capped at 16).
     fn dump_lock_table(&self, waiting_for: usize, timeout: Duration) -> String {
@@ -306,6 +330,29 @@ mod tests {
         p.unlock(&mut w, 1);
         assert!(p.try_lock(&mut w, 0), "released lock can be re-acquired");
         p.unlock(&mut w, 0);
+    }
+
+    #[test]
+    fn force_reset_releases_abandoned_locks() {
+        let p = CpuPlatform::new(3).with_watchdog(Duration::from_millis(200));
+        // A worker takes two locks and "dies" without releasing them.
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                let mut w = CpuWorker::new();
+                p.lock(&mut w, 0);
+                p.lock(&mut w, 2);
+            });
+        });
+        let mut w = CpuWorker::new();
+        assert!(!p.try_lock(&mut w, 0), "lock 0 is wedged");
+        p.force_reset_locks();
+        assert!(p.try_lock(&mut w, 0), "forced reset frees wedged locks");
+        assert!(p.try_lock(&mut w, 2));
+        p.unlock(&mut w, 0);
+        p.unlock(&mut w, 2);
+        // Normal locking still works after a reset.
+        assert!(p.lock_checked(&mut w, 1).is_ok());
+        p.unlock(&mut w, 1);
     }
 
     #[test]

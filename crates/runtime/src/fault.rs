@@ -39,17 +39,24 @@ pub enum InjectionPoint {
     /// Inside the DELETEMIN wait spin (MARKED collaboration spin, or
     /// the no-collaboration TARGET wait) — root lock held.
     MarkedSpin,
+    /// Inside a salvage walk over poisoned node storage (recovery
+    /// drills: a second failure while recovery itself is running).
+    /// Deliberately the *last* variant: [`FaultPlan::seeded`] draws
+    /// only the six heap points, so existing seeded schedules are
+    /// unchanged and recovery faults are always explicit rules.
+    SalvageWalk,
 }
 
 impl InjectionPoint {
     /// Every registered point, for drills that must cover all of them.
-    pub const ALL: [InjectionPoint; 6] = [
+    pub const ALL: [InjectionPoint; 7] = [
         InjectionPoint::PreLockAcquire,
         InjectionPoint::PostLockAcquire,
         InjectionPoint::PreLockRelease,
         InjectionPoint::MidInsertHeapify,
         InjectionPoint::MidDeleteHeapify,
         InjectionPoint::MarkedSpin,
+        InjectionPoint::SalvageWalk,
     ];
 
     /// Dense index (for the per-point hit counters).
@@ -61,6 +68,7 @@ impl InjectionPoint {
             InjectionPoint::MidInsertHeapify => 3,
             InjectionPoint::MidDeleteHeapify => 4,
             InjectionPoint::MarkedSpin => 5,
+            InjectionPoint::SalvageWalk => 6,
         }
     }
 }
@@ -97,7 +105,7 @@ pub struct FaultRule {
 pub struct FaultPlan {
     rules: Vec<FaultRule>,
     fired: Vec<AtomicBool>,
-    hits: [AtomicU64; 6],
+    hits: [AtomicU64; InjectionPoint::ALL.len()],
 }
 
 impl FaultPlan {
@@ -128,6 +136,9 @@ impl FaultPlan {
             x ^ (x >> 31)
         };
         for _ in 0..count {
+            // Seeded plans draw only the six heap points — never
+            // `SalvageWalk` — so seeded soak schedules stay stable and
+            // recovery-time faults are always explicit rules.
             let point = InjectionPoint::ALL[(next() % 6) as usize];
             let nth = next() % max_nth + 1;
             let action = match next() % 3 {
@@ -245,6 +256,15 @@ mod tests {
         }
         let c = FaultPlan::seeded(43, 8, 100);
         assert_ne!(a.rules(), c.rules(), "different seeds, different plans");
+    }
+
+    #[test]
+    fn seeded_plans_never_draw_the_salvage_point() {
+        for seed in 0..64 {
+            for r in FaultPlan::seeded(seed, 16, 50).rules() {
+                assert_ne!(r.point, InjectionPoint::SalvageWalk, "seed {seed}");
+            }
+        }
     }
 
     #[test]

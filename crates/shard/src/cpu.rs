@@ -53,8 +53,18 @@ pub struct CpuShardedBgpq<K: KeyType, V: ValueType> {
 impl<K: KeyType, V: ValueType> CpuShardedBgpq<K, V> {
     pub fn new(opts: ShardedOptions) -> Self {
         opts.validate();
-        let platforms = (0..opts.shards).map(|_| CpuPlatform::new(opts.queue.max_nodes + 1));
-        Self { inner: ShardedBgpq::with_platforms(platforms.collect(), opts) }
+        let platforms: Vec<CpuPlatform> =
+            (0..opts.shards).map(|_| CpuPlatform::new(opts.queue.max_nodes + 1)).collect();
+        // The CPU platform can safely force-reset abandoned lock words,
+        // so when recovery is requested the breaker gets the real
+        // salvager; without it `recovery` would silently mean
+        // "permanent quarantine after all".
+        let inner = if opts.recovery.is_some() {
+            ShardedBgpq::with_platforms_recovering(platforms, opts, bgpq_recover::salvage_heap)
+        } else {
+            ShardedBgpq::with_platforms(platforms, opts)
+        };
+        Self { inner }
     }
 
     /// The underlying generic router (quality stats, per-shard access).

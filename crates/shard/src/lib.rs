@@ -37,4 +37,4 @@ pub mod router;
 
 pub use cpu::{worker_id, CpuShardedBgpq, ShardedBgpqFactory};
 pub use quality::{QualitySnapshot, QualityStats};
-pub use router::{ShardedBgpq, ShardedOptions};
+pub use router::{BreakerState, RecoveryOptions, Salvager, ShardedBgpq, ShardedOptions};

@@ -29,9 +29,28 @@ pub struct QualityStats {
     /// empty at the attempt).
     full_sweeps: AtomicU64,
     /// Shards taken out of rotation after a failure (poisoned heap or
-    /// lock timeout). Monotone: quarantine is permanent for the life of
-    /// the router.
+    /// lock timeout). Without recovery configured this is monotone —
+    /// quarantine is permanent for the life of the router; with
+    /// recovery enabled a quarantined shard can be salvaged and
+    /// re-admitted (each re-quarantine counts again).
     quarantines: AtomicU64,
+    /// Salvage probes attempted on quarantined shards (each probe
+    /// either salvages or reschedules itself).
+    probes: AtomicU64,
+    /// Completed salvage passes: a quarantined shard's node storage was
+    /// walked, its settled keys rebuilt, and the shard moved to
+    /// half-open trial service.
+    salvages: AtomicU64,
+    /// Shards fully re-admitted (half-open trial traffic succeeded and
+    /// the breaker closed).
+    readmissions: AtomicU64,
+    /// Keys walked out of crashed shards by salvage passes.
+    keys_recovered: AtomicU64,
+    /// Keys confirmed (or conservatively presumed) lost: in-flight
+    /// batches at crash time plus any rebuild residue that no live
+    /// shard would accept. Every key counted here appeared in a
+    /// `SalvageReport` — loss is never silent.
+    keys_lost: AtomicU64,
 }
 
 impl QualityStats {
@@ -65,6 +84,28 @@ impl QualityStats {
         self.quarantines.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Record one salvage probe attempt on a quarantined shard.
+    pub fn record_probe(&self) {
+        self.probes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one completed salvage pass and its key accounting.
+    pub fn record_salvage(&self, recovered: u64, lost: u64) {
+        self.salvages.fetch_add(1, Ordering::Relaxed);
+        self.keys_recovered.fetch_add(recovered, Ordering::Relaxed);
+        self.keys_lost.fetch_add(lost, Ordering::Relaxed);
+    }
+
+    /// Record rebuild residue: recovered keys no live shard accepted.
+    pub fn record_lost(&self, keys: u64) {
+        self.keys_lost.fetch_add(keys, Ordering::Relaxed);
+    }
+
+    /// Record one shard closing its breaker after trial traffic.
+    pub fn record_readmission(&self) {
+        self.readmissions.fetch_add(1, Ordering::Relaxed);
+    }
+
     pub fn snapshot(&self) -> QualitySnapshot {
         QualitySnapshot {
             deletes: self.deletes.load(Ordering::Relaxed),
@@ -73,6 +114,11 @@ impl QualityStats {
             steals: self.steals.load(Ordering::Relaxed),
             full_sweeps: self.full_sweeps.load(Ordering::Relaxed),
             quarantines: self.quarantines.load(Ordering::Relaxed),
+            probes: self.probes.load(Ordering::Relaxed),
+            salvages: self.salvages.load(Ordering::Relaxed),
+            readmissions: self.readmissions.load(Ordering::Relaxed),
+            keys_recovered: self.keys_recovered.load(Ordering::Relaxed),
+            keys_lost: self.keys_lost.load(Ordering::Relaxed),
         }
     }
 
@@ -84,6 +130,11 @@ impl QualityStats {
         self.steals.store(0, Ordering::Relaxed);
         self.full_sweeps.store(0, Ordering::Relaxed);
         self.quarantines.store(0, Ordering::Relaxed);
+        self.probes.store(0, Ordering::Relaxed);
+        self.salvages.store(0, Ordering::Relaxed);
+        self.readmissions.store(0, Ordering::Relaxed);
+        self.keys_recovered.store(0, Ordering::Relaxed);
+        self.keys_lost.store(0, Ordering::Relaxed);
     }
 }
 
@@ -96,6 +147,11 @@ pub struct QualitySnapshot {
     pub steals: u64,
     pub full_sweeps: u64,
     pub quarantines: u64,
+    pub probes: u64,
+    pub salvages: u64,
+    pub readmissions: u64,
+    pub keys_recovered: u64,
+    pub keys_lost: u64,
 }
 
 impl QualitySnapshot {
@@ -141,5 +197,25 @@ mod tests {
         q.reset();
         assert_eq!(q.snapshot(), QualitySnapshot::default());
         assert_eq!(QualitySnapshot::default().mean_rank_error(), 0.0);
+    }
+
+    #[test]
+    fn recovery_counters_accumulate_and_reset() {
+        let q = QualityStats::new();
+        q.record_quarantine();
+        q.record_probe();
+        q.record_probe();
+        q.record_salvage(120, 4);
+        q.record_lost(2);
+        q.record_readmission();
+        let s = q.snapshot();
+        assert_eq!(s.quarantines, 1);
+        assert_eq!(s.probes, 2);
+        assert_eq!(s.salvages, 1);
+        assert_eq!(s.readmissions, 1);
+        assert_eq!(s.keys_recovered, 120);
+        assert_eq!(s.keys_lost, 6, "salvage loss and rebuild residue fold together");
+        q.reset();
+        assert_eq!(q.snapshot(), QualitySnapshot::default());
     }
 }

@@ -55,6 +55,9 @@ fn cpu_combine_drill(point: InjectionPoint, nth: u64, action: FaultAction) -> bo
                         // A watchdog timeout is per-operation: the
                         // front stays live and the next op may work.
                         Err(QueueError::LockTimeout { .. }) => {}
+                        // Tripped-front fast-fail; every PROBE_INTERVAL-th
+                        // submission still probes and reports Poisoned.
+                        Err(QueueError::Unavailable) => {}
                     }
                 }
             });
@@ -68,9 +71,17 @@ fn cpu_combine_drill(point: InjectionPoint, nth: u64, action: FaultAction) -> bo
     );
     if q.is_poisoned() {
         // Fail-stop through the front: immediate typed refusal for
-        // both kinds, and at least one in-flight submitter saw it.
-        assert!(matches!(q.try_insert(1, 0), Err(QueueError::Poisoned)));
-        assert!(matches!(q.try_delete_min(), Err(QueueError::Poisoned)));
+        // both kinds (fast-fail `Unavailable`, or `Poisoned` when the
+        // submission lands on a probe ticket), and at least one
+        // in-flight submitter saw the poison itself.
+        assert!(matches!(
+            q.try_insert(1, 0),
+            Err(QueueError::Poisoned) | Err(QueueError::Unavailable)
+        ));
+        assert!(matches!(
+            q.try_delete_min(),
+            Err(QueueError::Poisoned) | Err(QueueError::Unavailable)
+        ));
         assert!(q.stats().snapshot().poison_events >= 1);
         assert!(poisoned_seen.load(Ordering::Relaxed) >= 1);
         // The backend itself may or may not be poisoned: a pre-entry
@@ -197,6 +208,9 @@ fn sim_combined_panic_drill_completes_with_typed_errors() {
                         return; // graceful fail-stop, agent exits cleanly
                     }
                     Err(QueueError::LockTimeout { .. }) => {}
+                    // Tripped-front fast-fail: keep polling — a later
+                    // probe ticket surfaces the underlying Poisoned.
+                    Err(QueueError::Unavailable) => {}
                 }
             }
         },
