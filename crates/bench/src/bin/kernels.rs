@@ -1,0 +1,158 @@
+//! Per-kernel microbench: scalar vs SIMD node primitives.
+//!
+//! Times the three data-parallel kernels (`merge_into`, `bitonic_sort`,
+//! `sort_split`) through the `primitives::simd` dispatch layer at both
+//! dispatch modes, over a sweep of run lengths, and reports ns/key and
+//! the scalar→SIMD speedup per (kernel, n) cell. This isolates the raw
+//! kernel gain from the heap-level effects measured by `hotpath` (lock
+//! overlap, pure-chunk bulk copies, prefetch).
+//!
+//! Inputs are fully interleaved random runs — the vector kernels' worst
+//! case (no pure chunks to shortcut), so the table reports the floor of
+//! the SIMD advantage, not cherry-picked stretches.
+//!
+//! Results land in `bench_results/kernels.csv` and `BENCH_kernels.json`.
+//!
+//! Usage: `kernels [--quick]` (`--quick` trims trials for CI smoke).
+
+use bench::report::{results_dir, Table};
+use primitives::simd::{self, DispatchMode};
+use std::fs;
+use std::hint::black_box;
+use std::time::Instant;
+use workloads::{generate_keys, KeyDist};
+
+/// Run lengths to sweep; 1024 is the acceptance point (node capacity
+/// used by the hotpath bench).
+const SIZES: [usize; 6] = [64, 128, 256, 512, 1024, 4096];
+const KERNELS: [&str; 3] = ["merge", "sort", "sort_split"];
+
+fn sorted_run(n: usize, seed: u64) -> Vec<u32> {
+    let mut v = generate_keys(n, KeyDist::Random, seed);
+    v.sort_unstable();
+    v
+}
+
+/// Median-of-trials ns/key for one (kernel, mode, n) cell. `keys` is
+/// how many keys one call moves; `body` performs one call.
+fn time_cell(trials: usize, n_keys_per_call: usize, mut body: impl FnMut()) -> f64 {
+    // Size the inner loop so a trial spans a few milliseconds.
+    let reps = (4_000_000 / n_keys_per_call).max(8);
+    let mut samples: Vec<f64> = (0..trials)
+        .map(|_| {
+            let t0 = Instant::now();
+            for _ in 0..reps {
+                body();
+            }
+            t0.elapsed().as_secs_f64() * 1e9 / (reps * n_keys_per_call) as f64
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples[trials / 2]
+}
+
+fn bench_merge(trials: usize, n: usize) -> f64 {
+    let a = sorted_run(n, 31);
+    let b = sorted_run(n, 32);
+    let mut out = vec![0u32; 2 * n];
+    time_cell(trials, 2 * n, || {
+        simd::merge_into(black_box(&a), black_box(&b), black_box(&mut out));
+    })
+}
+
+fn bench_sort(trials: usize, n: usize) -> f64 {
+    let base = generate_keys(n, KeyDist::Random, 33);
+    let mut buf = base.clone();
+    time_cell(trials, n, || {
+        buf.copy_from_slice(&base);
+        simd::bitonic_sort(black_box(&mut buf));
+    })
+}
+
+fn bench_sort_split(trials: usize, n: usize) -> f64 {
+    let z0 = sorted_run(n, 34);
+    let w0 = sorted_run(n, 35);
+    let mut z = z0.clone();
+    let mut w = w0.clone();
+    let mut scratch = Vec::new();
+    time_cell(trials, 2 * n, || {
+        z.copy_from_slice(&z0);
+        w.copy_from_slice(&w0);
+        simd::sort_split(black_box(&mut z), n, black_box(&mut w), n, n, &mut scratch);
+    })
+}
+
+fn bench_kernel(kernel: &str, trials: usize, n: usize) -> f64 {
+    match kernel {
+        "merge" => bench_merge(trials, n),
+        "sort" => bench_sort(trials, n),
+        "sort_split" => bench_sort_split(trials, n),
+        _ => unreachable!(),
+    }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let trials = if quick { 3 } else { 7 };
+
+    // Capture both modes regardless of the environment: pin scalar,
+    // measure, then release the pin and measure whatever the host
+    // dispatches to (scalar again if AVX2 is absent or the env forces
+    // it — the JSON records which).
+    simd::set_forced_scalar(true);
+    assert_eq!(simd::dispatch_mode(), DispatchMode::Scalar);
+    let mut scalar = Vec::new();
+    for &kernel in &KERNELS {
+        for &n in &SIZES {
+            scalar.push((kernel, n, bench_kernel(kernel, trials, n)));
+        }
+    }
+    simd::set_forced_scalar(false);
+    let vector_mode = simd::dispatch_mode();
+    let mut vector = Vec::new();
+    for &kernel in &KERNELS {
+        for &n in &SIZES {
+            vector.push((kernel, n, bench_kernel(kernel, trials, n)));
+        }
+    }
+
+    let dir = results_dir();
+    fs::create_dir_all(&dir).expect("create bench_results");
+    let mut t = Table::new("kernels", &["kernel", "n", "scalar ns/key", "simd ns/key", "speedup"]);
+    let mut json = String::from("{\n  \"bench\": \"kernels\",\n");
+    json.push_str(&format!("  \"vector_mode\": \"{vector_mode:?}\",\n  \"cells\": [\n"));
+    for (i, ((kernel, n, s_ns), (_, _, v_ns))) in scalar.iter().zip(vector.iter()).enumerate() {
+        let speedup = s_ns / v_ns;
+        t.row(vec![
+            kernel.to_string(),
+            n.to_string(),
+            format!("{s_ns:.3}"),
+            format!("{v_ns:.3}"),
+            format!("{speedup:.2}"),
+        ]);
+        json.push_str(&format!(
+            "    {{\"kernel\": \"{kernel}\", \"n\": {n}, \"scalar_ns_per_key\": {s_ns:.3}, \
+             \"simd_ns_per_key\": {v_ns:.3}, \"speedup\": {speedup:.3}}}{}",
+            if i + 1 < scalar.len() { ",\n" } else { "\n" }
+        ));
+    }
+    json.push_str("  ],\n  \"speedup_at_1024\": {\n");
+    for (i, &kernel) in KERNELS.iter().enumerate() {
+        let cell = |rows: &[(&str, usize, f64)]| {
+            rows.iter().find(|(k2, n, _)| *k2 == kernel && *n == 1024).map(|r| r.2).unwrap()
+        };
+        json.push_str(&format!(
+            "    \"{kernel}\": {:.3}{}",
+            cell(&scalar) / cell(&vector),
+            if i + 1 < KERNELS.len() { ",\n" } else { "\n" }
+        ));
+    }
+    json.push_str("  }\n}\n");
+
+    t.print();
+    t.write_csv(&dir).expect("write csv");
+    fs::write("BENCH_kernels.json", &json).expect("write BENCH_kernels.json");
+    eprintln!(
+        "wrote bench_results/kernels.csv and BENCH_kernels.json (vector mode {vector_mode:?})"
+    );
+}

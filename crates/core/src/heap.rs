@@ -22,12 +22,13 @@
 
 use crate::history::{HistoryEvent, HistoryOp, HistoryRecorder, ProtocolKind};
 use crate::options::BgpqOptions;
-use crate::scratch::OpScratch;
+use crate::scratch::{LaneScratch, OpScratch};
+use crate::soa;
 use crate::storage::{NodeState, NodeStorage, PBUFFER};
 use crate::tree::{next_on_path, ROOT};
 use bgpq_runtime::{InjectionPoint, Platform};
 use pq_api::{Entry, KeyType, OpStats, QueueError, ValueType};
-use primitives::{merge_into, sort_split, sort_split_full, PrimitiveCost};
+use primitives::{simd, PrimitiveCost};
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 
 /// Spin iterations before a collaboration wait escalates from the cheap
@@ -628,6 +629,7 @@ impl<K: KeyType, V: ValueType, P: Platform> Bgpq<K, V, P> {
         // overwritten.
         let buf = &mut s.ins[..k];
         let scratch = &mut s.merge;
+        let lanes = &mut s.lanes;
         buf[..size].copy_from_slice(items);
         c.charge(PrimitiveCost::SortWith { n: size, algo: self.opts.sort_algo });
         buf[..size].sort_unstable();
@@ -686,7 +688,7 @@ impl<K: KeyType, V: ValueType, P: Platform> Bgpq<K, V, P> {
             c.charge(PrimitiveCost::SortSplit { na: root_len, nb: size });
             unsafe {
                 let root = self.storage.node_mut(ROOT);
-                sort_split(root, root_len, buf, size, root_len, scratch);
+                soa::sort_split_entries(root, root_len, buf, size, root_len, scratch, lanes);
             }
             c.charge(PrimitiveCost::GlobalWrite { n: root_len });
         }
@@ -698,13 +700,12 @@ impl<K: KeyType, V: ValueType, P: Platform> Bgpq<K, V, P> {
             c.charge(PrimitiveCost::Merge { n: buf_len + size });
             unsafe {
                 let pb = self.storage.node_mut(PBUFFER);
-                // Merge buf[..size] into pb[..buf_len]: both sorted.
-                // Stash the old buffer contents in the arena so the
-                // branchless merge can write pb in place (stable, old
-                // buffer wins ties — same order the scalar loop gave).
-                scratch.clear();
-                scratch.extend_from_slice(&pb[..buf_len]);
-                merge_into(&scratch[..buf_len], &buf[..size], &mut pb[..buf_len + size]);
+                // Merge buf[..size] into pb[..buf_len]: both sorted,
+                // the old buffer winning ties (stable — same order the
+                // scalar loop gave). The routed absorb stashes the old
+                // buffer contents in the arena so it can write pb in
+                // place.
+                soa::merge_absorb(&mut pb[..buf_len + size], buf_len, &buf[..size], scratch, lanes);
                 self.storage.meta_mut().buf_len = buf_len + size;
             }
             c.charge(PrimitiveCost::GlobalWrite { n: buf_len + size });
@@ -723,7 +724,7 @@ impl<K: KeyType, V: ValueType, P: Platform> Bgpq<K, V, P> {
             c.charge(PrimitiveCost::SortSplit { na: size, nb: buf_len });
             unsafe {
                 let pb = self.storage.node_mut(PBUFFER);
-                sort_split(buf, size, pb, buf_len, k, scratch);
+                soa::sort_split_entries(buf, size, pb, buf_len, k, scratch, lanes);
                 self.storage.meta_mut().buf_len = buf_len + size - k;
             }
             c.charge(PrimitiveCost::GlobalWrite { n: buf_len + size - k });
@@ -759,9 +760,15 @@ impl<K: KeyType, V: ValueType, P: Platform> Bgpq<K, V, P> {
             held = cur;
             c.charge(PrimitiveCost::GlobalRead { n: k });
             c.charge(PrimitiveCost::SortSplit { na: k, nb: k });
+            // Pull the next path node into L2 while this level's merge
+            // runs (same overlap trick as the delete path).
+            let nxt = next_on_path(cur, tar);
+            if nxt != tar && simd::vector_enabled() {
+                self.prefetch_node_full(nxt, k);
+            }
             // SAFETY: we hold `cur`'s lock; path nodes are full AVAIL.
             unsafe {
-                sort_split_full(self.storage.node_mut(cur), buf, scratch);
+                soa::sort_split_full_entries(self.storage.node_mut(cur), buf, scratch, lanes);
             }
             c.charge(PrimitiveCost::GlobalWrite { n: k });
             cur = next_on_path(cur, tar);
@@ -959,6 +966,7 @@ impl<K: KeyType, V: ValueType, P: Platform> Bgpq<K, V, P> {
         assert!(count >= 1 && count <= k, "delete batch must request 1..=k items, got {count}");
         let start = out.len();
         let scratch = &mut s.merge;
+        let lanes = &mut s.lanes;
 
         c.lock_entry(ROOT)?;
         if self.is_poisoned() {
@@ -973,6 +981,13 @@ impl<K: KeyType, V: ValueType, P: Platform> Bgpq<K, V, P> {
             let m = self.storage.meta_mut();
             (m.heap_size, m.root_len)
         };
+
+        // The root refill below will stream the last heap node; start
+        // pulling it into L2 now so the fetch overlaps the root
+        // extraction and lock work in between.
+        if heap_size > 1 && simd::vector_enabled() {
+            self.prefetch_node_full(heap_size, k);
+        }
 
         if heap_size == 0 {
             self.finish_delete(c, out, start, ROOT, true, ctx)?;
@@ -1070,13 +1085,42 @@ impl<K: KeyType, V: ValueType, P: Platform> Bgpq<K, V, P> {
             unsafe {
                 let root = self.storage.node_mut(ROOT);
                 let pb = self.storage.node_mut(PBUFFER);
-                sort_split(root, k, pb, buf_len, k, scratch);
+                soa::sort_split_entries(root, k, pb, buf_len, k, scratch, lanes);
             }
         }
 
         OpStats::bump(&self.stats.delete_heapifies);
-        self.delete_heapify(c, out, start, remained, scratch, ctx)?;
+        self.delete_heapify(c, out, start, remained, scratch, lanes, ctx)?;
         Ok(out.len() - start)
+    }
+
+    /// Hint-prefetch the cache lines of node `node` that the next
+    /// heapify level touches first: the head (`[0]` min probe, merge
+    /// stream start) and the tail (`[k-1]` max probe). The body streams
+    /// in behind the hardware prefetcher once the merge starts. Issued
+    /// before the node's lock is taken, so the loads overlap the
+    /// acquisition; prefetching is a hint, so racing a writer is safe.
+    #[inline]
+    fn prefetch_node(&self, node: usize, k: usize) {
+        let p = self.storage.node_ptr(node);
+        simd::prefetch_read(p);
+        simd::prefetch_read(p.wrapping_add(k - 1));
+    }
+
+    /// Bulk-prefetch every cache line of node `node` into L2. Issued
+    /// one full merge *ahead* of the level that will stream the node,
+    /// so the fetch overlaps real work — at steady state the heap's
+    /// nodes live far down the cache hierarchy (the working set is
+    /// `max_nodes * k` entries) and the hand-over-hand traversal
+    /// otherwise stalls on them level after level.
+    fn prefetch_node_full(&self, node: usize, k: usize) {
+        let p = self.storage.node_ptr(node);
+        let per_line = (64 / core::mem::size_of::<Entry<K, V>>()).max(1);
+        let mut i = 0;
+        while i < k {
+            simd::prefetch_read_l2(p.wrapping_add(i));
+            i += per_line;
+        }
     }
 
     /// Move AVAIL node `tar`'s full batch into the (empty) root and
@@ -1099,6 +1143,10 @@ impl<K: KeyType, V: ValueType, P: Platform> Bgpq<K, V, P> {
     /// `DELETEMIN_HEAPIFY` (Alg. 3), iteratively. On entry the caller
     /// holds `cur = root`'s lock; `remained` keys still owed to the
     /// caller are extracted from the root before it is released.
+    // The scratch pieces arrive disassembled from the op's arena — they
+    // alias distinct OpScratch fields, so they can't ride in as one
+    // `&mut OpScratch` alongside `out` (which is also arena-owned).
+    #[allow(clippy::too_many_arguments)]
     fn delete_heapify(
         &self,
         c: &mut Crit<'_, K, V, P>,
@@ -1106,6 +1154,7 @@ impl<K: KeyType, V: ValueType, P: Platform> Bgpq<K, V, P> {
         start: usize,
         remained: usize,
         scratch: &mut Vec<Entry<K, V>>,
+        lanes: &mut LaneScratch,
         ctx: &mut OpCtx<K>,
     ) -> Result<(), QueueError> {
         let k = self.opts.node_capacity;
@@ -1117,6 +1166,20 @@ impl<K: KeyType, V: ValueType, P: Platform> Bgpq<K, V, P> {
             let r = crate::tree::right(cur);
             let l_in = l <= max;
             let r_in = r <= max;
+            // Software-prefetch the child entries this level is about
+            // to read (the min/max probes below, then the SORT_SPLIT
+            // streams), so the loads overlap the hand-over-hand lock
+            // acquisitions. Gated on the same runtime dispatch as the
+            // vector kernels so BGPQ_FORCE_SCALAR A/B runs measure it
+            // too; a no-op off x86_64. See EXPERIMENTS.md E11.
+            if simd::vector_enabled() {
+                if l_in {
+                    self.prefetch_node(l, k);
+                }
+                if r_in {
+                    self.prefetch_node(r, k);
+                }
+            }
             if l_in {
                 c.lock_or_poison(l)?;
             }
@@ -1159,7 +1222,12 @@ impl<K: KeyType, V: ValueType, P: Platform> Bgpq<K, V, P> {
             }
 
             // Descend. If only one child holds keys, SORT_SPLIT with it
-            // directly; otherwise Alg. 3 lines 9-12.
+            // directly; otherwise Alg. 3 lines 9-12. Both splits run
+            // the crossing-bounded in-place routine
+            // (`soa::sort_split_full_entries`); fusing the two into one
+            // three-stream merge was tried and rejected — the 3-way
+            // select defeats branch if-conversion and costs more than
+            // the traffic it saves (EXPERIMENTS.md E11).
             let y = if l_has && r_has {
                 let (x, y) = unsafe {
                     let lmax = self.storage.node_ref(l)[k - 1].key;
@@ -1173,7 +1241,12 @@ impl<K: KeyType, V: ValueType, P: Platform> Bgpq<K, V, P> {
                 c.charge(PrimitiveCost::SortSplit { na: k, nb: k });
                 // SAFETY: both child locks held; disjoint nodes.
                 unsafe {
-                    sort_split_two(self.storage.node_mut(y), self.storage.node_mut(x), scratch);
+                    sort_split_two(
+                        self.storage.node_mut(y),
+                        self.storage.node_mut(x),
+                        scratch,
+                        lanes,
+                    );
                 }
                 c.charge(PrimitiveCost::GlobalWrite { n: k });
                 c.unlock(x);
@@ -1190,12 +1263,30 @@ impl<K: KeyType, V: ValueType, P: Platform> Bgpq<K, V, P> {
                 y
             };
 
+            // The next iteration streams `y`'s children in its sibling
+            // SORT_SPLIT; start pulling them into L2 so the fetch
+            // overlaps the full merge below.
+            if simd::vector_enabled() {
+                let (yl, yr) = (crate::tree::left(y), crate::tree::right(y));
+                if yl <= max {
+                    self.prefetch_node_full(yl, k);
+                }
+                if yr <= max {
+                    self.prefetch_node_full(yr, k);
+                }
+            }
+
             // SORT_SPLIT(cur, y): cur keeps the k smallest (Alg. 3
             // line 12).
             c.charge(PrimitiveCost::SortSplit { na: k, nb: k });
             // SAFETY: cur and y locks held; disjoint nodes.
             unsafe {
-                sort_split_two(self.storage.node_mut(cur), self.storage.node_mut(y), scratch);
+                sort_split_two(
+                    self.storage.node_mut(cur),
+                    self.storage.node_mut(y),
+                    scratch,
+                    lanes,
+                );
             }
             c.charge(PrimitiveCost::GlobalWrite { n: 2 * k });
 
@@ -1245,8 +1336,9 @@ fn sort_split_two<K: KeyType, V: ValueType>(
     small_side: &mut [Entry<K, V>],
     large_side: &mut [Entry<K, V>],
     scratch: &mut Vec<Entry<K, V>>,
+    lanes: &mut LaneScratch,
 ) {
-    sort_split_full(small_side, large_side, scratch);
+    soa::sort_split_full_entries(small_side, large_side, scratch, lanes);
 }
 
 /// What a [`Bgpq::salvage_reset`] walk found and did. The caller-facing

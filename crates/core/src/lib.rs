@@ -38,6 +38,7 @@ pub mod heap;
 pub mod history;
 pub mod options;
 pub mod scratch;
+pub(crate) mod soa;
 pub mod storage;
 pub mod tree;
 

@@ -1,0 +1,502 @@
+//! SoA kernel routing — vector `SORT_SPLIT` over `(key, value)` nodes.
+//!
+//! The paper's GPU nodes hold bare keys, so its kernels sort keys
+//! directly. Our nodes carry an `Entry<K, V>` payload, which the AVX2
+//! kernels in `primitives::simd` cannot move as one lane. This module
+//! bridges the two with a split key-lane / value-permutation layout:
+//!
+//! 1. **Stage** both sorted source runs contiguously into the
+//!    operation's merge scratch (`orig`) — the entries never move again
+//!    until the final gather.
+//! 2. **Partition** the output with Merge Path (`merge_path_partition`)
+//!    into chunks of at most [`SOA_CHUNK`] entries. A chunk whose input
+//!    comes entirely from one run is a *pure* chunk: the merged output
+//!    is just that input, so it is emitted as a bulk `copy_from_slice`
+//!    and never touches a vector register. Heapify merges are dominated
+//!    by long single-run stretches, which is where the speedup lives.
+//! 3. **Pack** each mixed chunk's keys as `KeyIdxLane`s — the key's
+//!    32-bit order-embedding (`KeyType::to_lane32`) in the high half,
+//!    the entry's staged index in the low half — and merge them with
+//!    the in-register bitonic network. Because `a`-side indices are
+//!    strictly below `b`-side indices, lane order *is* the stable merge
+//!    order (`a` wins ties), matching `merge_path_search` exactly.
+//! 4. **Gather** whole entries out of `orig` by lane index, so values
+//!    follow their keys without ever being packed.
+//!
+//! Routing: a call takes this path only when the key type embeds into a
+//! 32-bit lane (`K::HAS_LANE32`), runtime dispatch resolved to a vector
+//! ISA (`simd::vector_enabled()`, which also honours
+//! `BGPQ_FORCE_SCALAR`), and the merge is big enough to amortize
+//! packing ([`SOA_MIN_TOTAL`]). Everything else falls through to the
+//! scalar `primitives::sort_split` path, which doubles as the
+//! differential oracle in the test suites.
+//!
+//! The full-split shape (`sort_split_full_entries`, both runs the same
+//! length, A keeps the small half — every heapify split is this shape)
+//! adds two adaptive short-cuts in front of the kernels. A Merge Path
+//! probe at diagonal `a.len()` counts how many B entries belong in the
+//! small half (`j`). `j == 0` means the runs are already split — a
+//! no-op, and the common case once a subtree has settled. A *narrow*
+//! crossing (`j ≤ a.len() /` [`INPLACE_MAX_CROSS_FRAC`]) is resolved in
+//! place: stash the `j` displaced A-tail entries, merge B's head into
+//! A backwards, merge the stash into B forwards — `O(crossing)` moves
+//! and zero bulk copies, ~2.5× the streaming kernel on sparse crossings
+//! (E11). Wide crossings fall through to the streaming merge + split
+//! write-back above, which wins once most of both runs must move.
+
+use crate::scratch::LaneScratch;
+use pq_api::{Entry, KeyType, ValueType};
+use primitives::simd::{self, KeyIdxLane};
+use primitives::{merge_into, merge_path_partition, merge_path_search, SortSplitResult};
+
+/// Output entries per Merge Path chunk. Bounds the lane buffers in
+/// [`LaneScratch`] and sets the pure-chunk granularity: larger chunks
+/// amortize partitioning but detect fewer pure stretches. 64 catches
+/// the sparse-crossing merges that dominate steady state (root vs a
+/// random batch crosses only where the batch undercuts the root max)
+/// while keeping the partition's binary searches under 1% of the work.
+pub(crate) const SOA_CHUNK: usize = 64;
+
+/// Merges smaller than this skip chunking entirely — partition
+/// overhead beats any pure-chunk savings on short runs.
+const SOA_MIN_TOTAL: usize = 64;
+
+/// Entries at or below this size take the scalar inner kernel on mixed
+/// chunks: an 8-byte `Entry` moves as one machine word, and E11 shows
+/// the well-predicted 4-wide scalar merge at ~3.5 cycles/entry — the
+/// pack + 4-lane merge + gather round trip cannot beat that. Wider
+/// payloads shift the balance toward the lane kernel (scalar moves
+/// grow with the entry, the packed lane does not).
+const LANE_ENTRY_BYTES: usize = 8;
+
+/// Whether a merge of `total` entries should take the staged vector
+/// path. Word-sized entries stay on the scalar primitive outright:
+/// E11 measured it at ~1.2 cycles/entry — effectively the memory
+/// floor — so even the staging copy is overhead there.
+#[inline]
+fn soa_eligible<K: KeyType, V: ValueType>(total: usize) -> bool {
+    K::HAS_LANE32
+        && core::mem::size_of::<Entry<K, V>>() > LANE_ENTRY_BYTES
+        && total >= SOA_MIN_TOTAL
+        && simd::vector_enabled()
+}
+
+/// Emit the stable merge of `orig[ar]` and `orig[br]` into `dst`
+/// (`a` wins ties), chunked so single-run stretches become bulk copies
+/// and only genuinely interleaved chunks pay for the vector kernel.
+fn emit_merge<K: KeyType, V: ValueType>(
+    orig: &[Entry<K, V>],
+    ar: core::ops::Range<usize>,
+    br: core::ops::Range<usize>,
+    dst: &mut [Entry<K, V>],
+    lanes: &mut LaneScratch,
+) {
+    let a = &orig[ar.clone()];
+    let b = &orig[br.clone()];
+    debug_assert_eq!(dst.len(), a.len() + b.len());
+    let lane_worthy = core::mem::size_of::<Entry<K, V>>() > LANE_ENTRY_BYTES;
+    merge_path_partition(a, b, SOA_CHUNK, |d, ia, jb| {
+        let out = &mut dst[d];
+        if jb.is_empty() {
+            out.copy_from_slice(&a[ia]);
+        } else if ia.is_empty() {
+            out.copy_from_slice(&b[jb]);
+        } else if !lane_worthy {
+            merge_into(&a[ia], &b[jb], out);
+        } else {
+            let n = ia.len() + jb.len();
+            lanes.a.clear();
+            lanes.a.extend(
+                a[ia.clone()]
+                    .iter()
+                    .zip(ar.start + ia.start..)
+                    .map(|(e, gi)| KeyIdxLane::pack(e.key.to_lane32(), gi as u32)),
+            );
+            lanes.b.clear();
+            lanes.b.extend(
+                b[jb.clone()]
+                    .iter()
+                    .zip(br.start + jb.start..)
+                    .map(|(e, gi)| KeyIdxLane::pack(e.key.to_lane32(), gi as u32)),
+            );
+            let merged = &mut lanes.out[..n];
+            simd::merge_into(&lanes.a, &lanes.b, merged);
+            for (slot, lane) in out.iter_mut().zip(merged.iter()) {
+                // SAFETY: every lane index was packed above from a
+                // position inside `orig`'s staged runs.
+                *slot = *unsafe { orig.get_unchecked(lane.idx() as usize) };
+            }
+        }
+    });
+}
+
+/// `SORT_SPLIT` with the same contract as `primitives::sort_split`, but
+/// routed: eligible merges run the staged/chunked/pack-gather vector
+/// path, everything else the scalar primitive.
+pub(crate) fn sort_split_entries<K: KeyType, V: ValueType>(
+    z: &mut [Entry<K, V>],
+    na: usize,
+    w: &mut [Entry<K, V>],
+    nb: usize,
+    ma: usize,
+    orig: &mut Vec<Entry<K, V>>,
+    lanes: &mut LaneScratch,
+) -> SortSplitResult {
+    let total = na + nb;
+    assert!(ma <= total, "cannot take more smallest elements than exist");
+    let mb = total - ma;
+    // Disjoint fast path shared by both routes: when the split point
+    // coincides with the run boundary and every `z` key is at most
+    // every `w` key, both halves already hold their output.
+    if ma == na && (na == 0 || nb == 0 || z[na - 1] <= w[0]) {
+        return SortSplitResult { ma, mb };
+    }
+    if !soa_eligible::<K, V>(total) {
+        return primitives::sort_split(z, na, w, nb, ma, orig);
+    }
+    assert!(na <= z.len() && nb <= w.len(), "valid prefix exceeds buffer");
+    assert!(ma <= z.len(), "small side does not fit");
+    assert!(mb <= w.len(), "large side does not fit");
+    debug_assert!(z[..na].windows(2).all(|p| p[0] <= p[1]), "Z not sorted");
+    debug_assert!(w[..nb].windows(2).all(|p| p[0] <= p[1]), "W not sorted");
+
+    orig.clear();
+    orig.extend_from_slice(&z[..na]);
+    orig.extend_from_slice(&w[..nb]);
+    let orig_ref: &[Entry<K, V>] = orig;
+    let (i, j) = merge_path_search(&orig_ref[..na], &orig_ref[na..], ma);
+    emit_merge(orig_ref, 0..i, na..na + j, &mut z[..ma], lanes);
+    emit_merge(orig_ref, i..na, na + j..total, &mut w[..mb], lanes);
+    SortSplitResult { ma, mb }
+}
+
+/// `SORT_SPLIT` between two full batches (`primitives::sort_split_full`
+/// contract: `a` keeps the `a.len()` smallest, `a` wins ties), computed
+/// **in place** with work proportional to the crossing region.
+///
+/// The merge-path cut `(i, j)` at `a.len()` splits the outputs into
+/// `a' = merge(a[..i], b[..j])` and `b' = merge(a[i..], b[j..])`. Both
+/// are built inside their own node:
+///
+/// * `a'` by a *backward* merge — the write cursor descends from the
+///   top of `a` and stays strictly above the `a` read cursor until
+///   `b[..j]` drains, at which point the untouched prefix of `a` is
+///   already in place. Elements of `a` below `b[0]` are never moved.
+/// * `b'` by a *forward* merge of the stashed `a[i..]` into `b` — the
+///   mirror-image invariant of [`merge_suffixes_in_place`]. Elements
+///   of `b` above `max(a)` are never moved.
+///
+/// The in-place form loses its element-wise loops' race against the
+/// unrolled merge + `memcpy` primitive once the crossing widens
+/// (measured ~10% slower at full interleave, 2.5× faster at narrow
+/// crossings — E11), so routing is adaptive on the measured cut: the
+/// crossing `j` must stay under [`INPLACE_MAX_CROSS_FRAC`] of the
+/// node. The routing predicate depends only on key values, so both
+/// BGPQ_FORCE_SCALAR modes take identical paths and results and sim
+/// histories cannot diverge.
+pub(crate) fn sort_split_full_entries<K: KeyType, V: ValueType>(
+    a: &mut [Entry<K, V>],
+    b: &mut [Entry<K, V>],
+    orig: &mut Vec<Entry<K, V>>,
+    lanes: &mut LaneScratch,
+) {
+    debug_assert!(a.windows(2).all(|p| p[0] <= p[1]), "A not sorted");
+    debug_assert!(b.windows(2).all(|p| p[0] <= p[1]), "B not sorted");
+    let (i, j) = merge_path_search(a, b, a.len());
+    if j == 0 {
+        // Already split: every a key is at most every b key.
+        return;
+    }
+    if j > a.len() / INPLACE_MAX_CROSS_FRAC {
+        // Wide crossing: the streaming primitive wins.
+        let na = a.len();
+        sort_split_entries(a, na, b, b.len(), na, orig, lanes);
+        return;
+    }
+    // len(a[i..]) == a.len() - i == j: exactly the stash the forward
+    // in-place merge needs to stay ahead of its write cursor.
+    orig.clear();
+    orig.extend_from_slice(&a[i..]);
+    merge_prefixes_in_place(a, i, &b[..j]);
+    merge_suffixes_in_place(b, j, orig);
+}
+
+/// In-place full splits are taken only when the crossing is at most
+/// `1/this` of the small side (see [`sort_split_full_entries`]).
+const INPLACE_MAX_CROSS_FRAC: usize = 8;
+
+/// Merge `bs` with `a[..i]` into `a[..]` (`a.len() == i + bs.len()`),
+/// the `a` side winning ties, writing *backward* from the top.
+///
+/// In place without scratch: the write cursor `w` descends from
+/// `a.len()` while the read cursor `ra` descends from `i`, and
+/// `w - ra` equals the unconsumed part of `bs` — strictly positive
+/// until `bs` drains, at which point `a[..ra]` is already in its final
+/// position and the loop stops. Descending emit order puts a `b`
+/// instance *above* an equal `a` instance, which is exactly the
+/// stable-merge (`a` wins) order.
+fn merge_prefixes_in_place<T: Ord + Copy>(a: &mut [T], i: usize, bs: &[T]) {
+    debug_assert_eq!(a.len(), i + bs.len());
+    let (mut w, mut ra) = (a.len(), i);
+    for &be in bs.iter().rev() {
+        while ra > 0 && a[ra - 1] > be {
+            w -= 1;
+            a[w] = a[ra - 1];
+            ra -= 1;
+        }
+        w -= 1;
+        a[w] = be;
+    }
+    debug_assert!(w == ra, "prefix must land in place");
+}
+
+/// Routed in-place absorb merge: `dst[..na]` (sorted) is merged with
+/// `add` (sorted) into `dst[..na + add.len()]`, `dst` winning ties —
+/// the pBuffer-absorb step of INSERT. The scalar route stashes the
+/// `dst` prefix in `orig` first (as the pre-SoA code did); the vector
+/// route stages both runs there anyway, so it comes for free.
+pub(crate) fn merge_absorb<K: KeyType, V: ValueType>(
+    dst: &mut [Entry<K, V>],
+    na: usize,
+    add: &[Entry<K, V>],
+    orig: &mut Vec<Entry<K, V>>,
+    lanes: &mut LaneScratch,
+) {
+    let nb = add.len();
+    let total = na + nb;
+    debug_assert!(dst.len() >= total);
+    orig.clear();
+    orig.extend_from_slice(&dst[..na]);
+    if !soa_eligible::<K, V>(total) {
+        merge_into(&orig[..na], add, &mut dst[..total]);
+        return;
+    }
+    orig.extend_from_slice(add);
+    emit_merge(orig, 0..na, na..total, &mut dst[..total], lanes);
+}
+
+/// Merge `ys` (length `j`) with `x[j..]` into `x[..]` in place, `ys`
+/// winning ties (it is the `a`-side suffix of the sibling merge).
+///
+/// Safe without scratch because the write cursor trails the `x` read
+/// cursor by exactly `j - (ys consumed)`, which stays positive until
+/// `ys` is drained — at which point the remaining `x[rx..]` tail is
+/// already in its final position, so the loop stops there.
+fn merge_suffixes_in_place<T: Ord + Copy>(x: &mut [T], j: usize, ys: &[T]) {
+    debug_assert_eq!(ys.len(), j);
+    let (mut w, mut rx) = (0usize, j);
+    for &ye in ys {
+        while rx < x.len() && x[rx] < ye {
+            x[w] = x[rx];
+            w += 1;
+            rx += 1;
+        }
+        x[w] = ye;
+        w += 1;
+    }
+    debug_assert!(w == rx, "tail must land in place");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch() -> (Vec<Entry<u32, u32>>, LaneScratch) {
+        (Vec::new(), LaneScratch::new())
+    }
+
+    fn run(start: u32, step: u32, n: usize, tag: u32) -> Vec<Entry<u32, u32>> {
+        (0..n as u32).map(|i| Entry::new(start + i * step, tag + i)).collect()
+    }
+
+    #[test]
+    fn routed_split_matches_scalar_primitive() {
+        let (mut orig, mut lanes) = scratch();
+        for (na, nb, ma) in
+            [(0, 0, 0), (1, 0, 1), (7, 9, 7), (128, 128, 128), (300, 200, 300), (200, 400, 150)]
+        {
+            let mb = na + nb - ma;
+            let mut z = run(0, 3, na, 1000);
+            z.resize(na.max(ma), Entry::sentinel());
+            let mut w = run(1, 2, nb, 5000);
+            w.resize(nb.max(mb), Entry::sentinel());
+            let mut z2 = z.clone();
+            let mut w2 = w.clone();
+            let mut s = Vec::new();
+            let r1 = sort_split_entries(&mut z, na, &mut w, nb, ma, &mut orig, &mut lanes);
+            let r2 = primitives::sort_split(&mut z2, na, &mut w2, nb, ma, &mut s);
+            assert_eq!((r1.ma, r1.mb), (r2.ma, r2.mb));
+            assert_eq!(&z[..r1.ma], &z2[..r1.ma], "na={na} nb={nb} ma={ma}");
+            assert_eq!(&w[..r1.mb], &w2[..r1.mb], "na={na} nb={nb} ma={ma}");
+        }
+    }
+
+    #[test]
+    fn gather_preserves_payloads_and_tie_order() {
+        let (mut orig, mut lanes) = scratch();
+        // All keys equal: output must be a-run payloads then b-run
+        // payloads, in original order (stability).
+        let n = 96;
+        let mut a: Vec<Entry<u32, u32>> = (0..n).map(|i| Entry::new(7, i)).collect();
+        let mut b: Vec<Entry<u32, u32>> = (0..n).map(|i| Entry::new(7, 1000 + i)).collect();
+        sort_split_full_entries(&mut a, &mut b, &mut orig, &mut lanes);
+        let vals: Vec<u32> = a.iter().chain(b.iter()).map(|e| e.value).collect();
+        let want: Vec<u32> = (0..n).chain(1000..1000 + n).collect();
+        assert_eq!(vals, want);
+    }
+
+    #[test]
+    fn absorb_matches_merge_into() {
+        let (mut orig, mut lanes) = scratch();
+        for (na, nb) in [(0, 5), (80, 80), (200, 56), (3, 250)] {
+            let mut dst = run(0, 2, na, 0);
+            dst.resize(na + nb, Entry::sentinel());
+            let add = run(1, 2, nb, 9000);
+            let mut want = vec![Entry::sentinel(); na + nb];
+            let stash: Vec<_> = dst[..na].to_vec();
+            merge_into(&stash, &add, &mut want);
+            merge_absorb(&mut dst, na, &add, &mut orig, &mut lanes);
+            assert_eq!(dst, want, "na={na} nb={nb}");
+        }
+    }
+
+    // Not a correctness test: `cargo test -p bgpq --release soa_timing
+    // -- --ignored --nocapture` prints per-route ns/entry on the two
+    // patterns that bracket the hot path (sparse crossings, full
+    // interleave), for tuning SOA_CHUNK / SOA_MIN_TOTAL.
+    #[test]
+    #[ignore]
+    fn soa_timing() {
+        let (mut orig, mut lanes) = scratch();
+        let k = 1024;
+        for (name, astep, bstep) in [("interleaved", 2u32, 2u32), ("sparse", 1, 97)] {
+            let z0 = run(0, astep, k, 0);
+            let w0: Vec<Entry<u32, u32>> =
+                (0..k as u32).map(|i| Entry::new(1 + i * bstep, i)).collect();
+            for route in ["routed", "scalar"] {
+                let mut z: Vec<_> = z0.clone();
+                let mut w: Vec<_> = w0.clone();
+                let t0 = std::time::Instant::now();
+                let reps = 20_000;
+                for _ in 0..reps {
+                    z.copy_from_slice(&z0);
+                    w.copy_from_slice(&w0);
+                    if route == "routed" {
+                        sort_split_entries(&mut z, k, &mut w, k, k, &mut orig, &mut lanes);
+                    } else {
+                        primitives::sort_split(&mut z, k, &mut w, k, k, &mut orig);
+                    }
+                }
+                let ns = t0.elapsed().as_secs_f64() * 1e9 / (reps * 2 * k) as f64;
+                println!("{name:12} {route:7} {ns:.3} ns/entry");
+            }
+        }
+    }
+
+    #[test]
+    fn inplace_full_split_matches_primitive() {
+        let (mut orig, mut lanes) = scratch();
+        let k = 128;
+        // Patterns: interleaved, disjoint both ways, all-equal keys
+        // (pure tie-order check), duplicate-heavy, single-crossing.
+        type KeyFn = Box<dyn Fn(u32) -> u32>;
+        let cases: [(KeyFn, KeyFn); 6] = [
+            (Box::new(|i| 2 * i), Box::new(|i| 2 * i + 1)),
+            (Box::new(|i| i), Box::new(|i| i + 1000)),
+            (Box::new(|i| i + 1000), Box::new(|i| i)),
+            (Box::new(|_| 7), Box::new(|_| 7)),
+            (Box::new(|i| i / 4), Box::new(|i| i / 3)),
+            (Box::new(|i| i), Box::new(|i| i + 120)),
+        ];
+        for (ci, (fa, fb)) in cases.iter().enumerate() {
+            let mk = |f: &dyn Fn(u32) -> u32, tag: u32| -> Vec<Entry<u32, u32>> {
+                let mut v: Vec<Entry<u32, u32>> =
+                    (0..k as u32).map(|i| Entry::new(f(i), tag + i)).collect();
+                v.sort_by_key(|e| e.key);
+                v
+            };
+            let (mut a, mut b) = (mk(fa, 0), mk(fb, 10_000));
+            let (mut a2, mut b2) = (a.clone(), b.clone());
+            sort_split_full_entries(&mut a, &mut b, &mut orig, &mut lanes);
+            let mut s = Vec::new();
+            primitives::sort_split_full(&mut a2, &mut b2, &mut s);
+            assert_eq!(a, a2, "small side mismatch, case {ci}");
+            assert_eq!(b, b2, "large side mismatch, case {ci}");
+        }
+    }
+
+    #[test]
+    fn inplace_full_split_unequal_sizes() {
+        let (mut orig, mut lanes) = scratch();
+        let mut a = vec![
+            Entry::<u32, u32>::new(10, 0),
+            Entry::new(20, 1),
+            Entry::new(30, 2),
+            Entry::new(40, 3),
+            Entry::new(50, 4),
+            Entry::new(60, 5),
+        ];
+        let mut b = vec![Entry::<u32, u32>::new(15, 10), Entry::new(35, 11)];
+        sort_split_full_entries(&mut a, &mut b, &mut orig, &mut lanes);
+        let keys: Vec<u32> = a.iter().map(|e| e.key).collect();
+        assert_eq!(keys, [10, 15, 20, 30, 35, 40]);
+        let keys: Vec<u32> = b.iter().map(|e| e.key).collect();
+        assert_eq!(keys, [50, 60]);
+    }
+
+    // Not a correctness test: `cargo test -p bgpq --release
+    // inplace_timing -- --ignored --nocapture` compares the in-place
+    // crossing-bounded full split against the merge-to-scratch
+    // primitive on a full random interleave (its worst case) and a
+    // narrow crossing (its best case).
+    #[test]
+    #[ignore]
+    fn inplace_timing() {
+        let (mut orig, mut lanes) = scratch();
+        let k = 1024;
+        let mk = |seed: u32, base: u32| -> Vec<Entry<u32, u32>> {
+            let mut s = seed;
+            let mut v: Vec<Entry<u32, u32>> = (0..k as u32)
+                .map(|i| {
+                    s = s.wrapping_mul(1664525).wrapping_add(1013904223);
+                    Entry::new(base + (s >> 8) % 100_000, i)
+                })
+                .collect();
+            v.sort_by_key(|e| e.key);
+            v
+        };
+        for (name, a0, b0) in
+            [("interleaved", mk(1, 0), mk(2, 0)), ("narrow-cross", mk(3, 0), mk(4, 95_000))]
+        {
+            let mut s = Vec::new();
+            for route in ["in-place", "primitive"] {
+                let (mut a, mut b) = (a0.clone(), b0.clone());
+                let reps = 20_000;
+                let t0 = std::time::Instant::now();
+                for _ in 0..reps {
+                    a.copy_from_slice(&a0);
+                    b.copy_from_slice(&b0);
+                    if route == "in-place" {
+                        sort_split_full_entries(&mut a, &mut b, &mut orig, &mut lanes);
+                    } else {
+                        primitives::sort_split_full(&mut a, &mut b, &mut s);
+                    }
+                }
+                let ns = t0.elapsed().as_secs_f64() * 1e9 / (reps * 2 * k) as f64;
+                println!("{name:12} {route:9} {ns:.3} ns/entry");
+            }
+        }
+    }
+
+    #[test]
+    fn disjoint_fast_path_is_a_noop() {
+        let (mut orig, mut lanes) = scratch();
+        let mut a = run(0, 1, 128, 0);
+        let mut b = run(1000, 1, 128, 500);
+        let (a0, b0) = (a.clone(), b.clone());
+        sort_split_full_entries(&mut a, &mut b, &mut orig, &mut lanes);
+        assert_eq!(a, a0);
+        assert_eq!(b, b0);
+        assert!(orig.is_empty(), "fast path must not stage");
+    }
+}

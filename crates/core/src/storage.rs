@@ -128,6 +128,15 @@ impl<K: KeyType, V: ValueType> NodeStorage<K, V> {
         unsafe { std::slice::from_raw_parts_mut(base.cast::<Entry<K, V>>(), self.k) }
     }
 
+    /// Raw pointer to node `node`'s first entry. Safe to produce
+    /// (never dereferenced here); used to issue software prefetches
+    /// before the node's lock is acquired — a prefetch is a hint, so
+    /// racing with a concurrent writer is harmless.
+    pub fn node_ptr(&self, node: usize) -> *const Entry<K, V> {
+        debug_assert!(node <= self.max_nodes);
+        self.entries[node * self.k].get().cast::<Entry<K, V>>().cast_const()
+    }
+
     /// Shared view of node `node` (same ownership obligation).
     ///
     /// # Safety

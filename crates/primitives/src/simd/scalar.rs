@@ -1,0 +1,13 @@
+//! Scalar kernel table entries: thin shims over the generic kernels in
+//! [`crate::merge_path`] and [`crate::bitonic`]. These are the
+//! always-available fallback *and* the differential oracles the SIMD
+//! proptests compare against — they must stay semantically identical
+//! to the vector kernels (stable merge, ascending network sort).
+
+pub(super) fn merge_chunked<L: Copy + Ord>(a: &[L], b: &[L], out: &mut [L]) {
+    crate::merge_path::merge_into(a, b, out);
+}
+
+pub(super) fn sort<L: Copy + Ord>(v: &mut [L]) {
+    crate::bitonic::bitonic_sort(v);
+}

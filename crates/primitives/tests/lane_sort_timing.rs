@@ -1,0 +1,37 @@
+//! Not a correctness test: `cargo test -p bgpq-gpu-primitives --release
+//! --test lane_sort_timing -- --ignored --nocapture` compares the
+//! dispatched bitonic sort against `sort_unstable` on KeyIdxLane (u64)
+//! batches — sizing the candidate win from replacing the INSERT
+//! staging sort with the vector kernel.
+
+use primitives::simd::{self, KeyIdxLane};
+use std::time::Instant;
+
+#[test]
+#[ignore]
+fn lane_sort_timing() {
+    for n in [256usize, 1024] {
+        let mut s = 12345u32;
+        let base: Vec<KeyIdxLane> = (0..n as u32)
+            .map(|i| {
+                s = s.wrapping_mul(1664525).wrapping_add(1013904223);
+                KeyIdxLane::pack(s, i)
+            })
+            .collect();
+        let mut buf = base.clone();
+        for route in ["bitonic", "pdq"] {
+            let reps = 40_000;
+            let t0 = Instant::now();
+            for _ in 0..reps {
+                buf.copy_from_slice(&base);
+                if route == "bitonic" {
+                    simd::bitonic_sort(&mut buf);
+                } else {
+                    buf.sort_unstable();
+                }
+            }
+            let ns = t0.elapsed().as_secs_f64() * 1e9 / (reps * n) as f64;
+            println!("n={n:5} {route:8} {ns:.3} ns/elem (mode {:?})", simd::dispatch_mode());
+        }
+    }
+}

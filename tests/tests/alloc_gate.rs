@@ -133,6 +133,49 @@ fn cpu_gate() {
     assert_eq!(allocs, 0, "CpuPlatform steady state hit the allocator {allocs} times");
 }
 
+/// The CPU gate again over wide entries (`Entry<u32, u64>`, 16 bytes).
+/// Entries wider than a single lane word route through the SoA path in
+/// `bgpq`'s kernel layer — key lanes split from a value permutation,
+/// merged by the dispatched SIMD kernels, payloads gathered afterwards —
+/// and that path keeps its own `LaneScratch` buffers inside `OpScratch`.
+/// This gate proves those buffers also go quiet after warmup; the narrow
+/// gate above cannot see them because 8-byte entries take the scalar
+/// route.
+fn cpu_gate_wide() {
+    let opts = BgpqOptions { node_capacity: K, max_nodes: 1 << 12, ..Default::default() };
+    let q: CpuBgpq<u32, u64> = CpuBgpq::new(opts);
+    let mut rng = XorShift(0xB7E151628AED2A6B);
+    let mut items = vec![Entry::new(0u32, 0u64); K];
+    let mut out: Vec<Entry<u32, u64>> = Vec::with_capacity(K);
+
+    let refresh = |rng: &mut XorShift, items: &mut [Entry<u32, u64>]| {
+        for e in items.iter_mut() {
+            let k = rng.next();
+            *e = Entry::new(k, k as u64);
+        }
+    };
+    for _ in 0..32 {
+        refresh(&mut rng, &mut items);
+        q.insert_batch(&items);
+    }
+    for _ in 0..32 {
+        refresh(&mut rng, &mut items);
+        out.clear();
+        q.insert_batch(&items);
+        assert_eq!(q.delete_min_batch(&mut out, K), K);
+    }
+
+    begin_gate();
+    for _ in 0..STEADY_ITERS {
+        refresh(&mut rng, &mut items);
+        out.clear();
+        q.insert_batch(&items);
+        assert_eq!(q.delete_min_batch(&mut out, K), K);
+    }
+    let allocs = end_gate();
+    assert_eq!(allocs, 0, "wide-entry (SoA) steady state hit the allocator {allocs} times");
+}
+
 fn sim_gate() {
     let opts = BgpqOptions { node_capacity: K, max_nodes: 1 << 12, ..Default::default() };
     let gpu = GpuConfig::new(1, 128);
@@ -181,5 +224,6 @@ fn sim_gate() {
 #[test]
 fn steady_state_ops_do_not_allocate() {
     cpu_gate();
+    cpu_gate_wide();
     sim_gate();
 }
