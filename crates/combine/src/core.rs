@@ -59,6 +59,7 @@
 //! individually fit still succeed.
 
 use crate::cell::{thread_cell, Op, OpCell, OpOutcome};
+use bgpq::Mutation;
 use parking_lot::Mutex;
 use pq_api::{Entry, KeyType, OpStats, QueueError, ValueType};
 use std::collections::VecDeque;
@@ -131,6 +132,13 @@ pub trait CombineBackend<K: KeyType, V: ValueType> {
     /// the simulator). Never called with any combiner mutex held.
     fn relax(&mut self);
 
+    /// Access-tagging hook for the front's shared combining state
+    /// (rings, cells, pending counter, combiner lock): schedule
+    /// exploration uses it to build the independence relation for
+    /// partial-order reduction. A no-op everywhere else — sim backends
+    /// forward to `Platform::touch_shared`.
+    fn touch_shared(&mut self, _write: bool) {}
+
     /// Preferred submission lane for the calling worker (reduces ring
     /// contention; correctness does not depend on the value).
     fn lane(&self) -> usize {
@@ -176,11 +184,15 @@ pub struct CombinerOptions {
     pub rings: usize,
     /// Initial adaptive window (clamped to `1..=2k`).
     pub initial_window: usize,
+    /// Verification self-test mutation (see [`bgpq::Mutation`]); the
+    /// front honors [`Mutation::CombinerDropsForeignInsert`]. Must stay
+    /// [`Mutation::None`] outside schedule-exploration self-tests.
+    pub mutation: Mutation,
 }
 
 impl Default for CombinerOptions {
     fn default() -> Self {
-        Self { rings: 8, initial_window: 1 }
+        Self { rings: 8, initial_window: 1, mutation: Mutation::None }
     }
 }
 
@@ -188,6 +200,13 @@ impl CombinerOptions {
     pub fn validate(&self) {
         assert!(self.rings >= 1, "need at least one submission ring");
         assert!(self.initial_window >= 1, "window must be at least 1");
+        // Same policy as `BgpqOptions::validate`: outside the self-test
+        // cfg the front would silently ignore the field — reject.
+        #[cfg(not(any(test, feature = "mutations")))]
+        assert!(
+            self.mutation == Mutation::None,
+            "CombinerOptions::mutation requires the `mutations` feature (verification self-tests only)"
+        );
     }
 }
 
@@ -220,6 +239,10 @@ pub struct CombineShared<K: KeyType, V: ValueType> {
     batch_capacity: usize,
     /// Key into the thread-local cell registry.
     instance: u64,
+    /// Verification self-test mutation (see [`CombinerOptions`]).
+    /// Compiled out of production builds.
+    #[cfg(any(test, feature = "mutations"))]
+    mutation: Mutation,
 }
 
 impl<K: KeyType, V: ValueType> CombineShared<K, V> {
@@ -245,6 +268,8 @@ impl<K: KeyType, V: ValueType> CombineShared<K, V> {
             stats: OpStats::new(),
             batch_capacity,
             instance: INSTANCE_TICKET.fetch_add(1, Ordering::Relaxed),
+            #[cfg(any(test, feature = "mutations"))]
+            mutation: opts.mutation,
         }
     }
 
@@ -307,6 +332,9 @@ impl<K: KeyType, V: ValueType> CombineShared<K, V> {
             // reports `Poisoned` honestly.
         }
         let cell = thread_cell::<K, V>(self.instance);
+        // Publishing a request mutates shared front state (cell arm,
+        // pending counter, ring push) — every other front op races it.
+        backend.touch_shared(true);
         cell.arm();
         self.pending.fetch_add(1, Ordering::SeqCst);
         let lane = backend.lane() % self.rings.len();
@@ -339,6 +367,8 @@ impl<K: KeyType, V: ValueType> CombineShared<K, V> {
                 // retries from a spinning waiter only add contention.
                 let mut spins = 0u32;
                 while !cell.is_done() {
+                    // Each poll reads the cell a combiner will write.
+                    backend.touch_shared(false);
                     backend.relax();
                     spins = spins.wrapping_add(1);
                     if spins & ((1 << RETRY_SHIFT) - 1) == 0 {
@@ -353,6 +383,8 @@ impl<K: KeyType, V: ValueType> CombineShared<K, V> {
     /// Try to become the combiner; if acquired, serve rounds until the
     /// rings are verifiably empty (exit protocol in the module docs).
     fn combine_session<B: CombineBackend<K, V>>(&self, backend: &mut B) {
+        // The lock attempt itself races every other session attempt.
+        backend.touch_shared(true);
         let Some(mut guard) = self.combiner.try_lock() else { return };
         loop {
             let mut rounds = 0u32;
@@ -375,6 +407,7 @@ impl<K: KeyType, V: ValueType> CombineShared<K, V> {
             drop(guard);
             // Post-release sweep: a request pushed between our last
             // drain and the unlock must not be stranded.
+            backend.touch_shared(true);
             if self.rings_are_empty() {
                 return;
             }
@@ -383,6 +416,7 @@ impl<K: KeyType, V: ValueType> CombineShared<K, V> {
             // unless we advance virtual time, so without this yield
             // the incumbent would always win its own re-acquire.
             backend.relax();
+            backend.touch_shared(true);
             match self.combiner.try_lock() {
                 Some(g) => guard = g,
                 // Someone newer holds the lock; they will sweep too.
@@ -399,6 +433,7 @@ impl<K: KeyType, V: ValueType> CombineShared<K, V> {
     /// when more submissions are in flight (see [`GATHER_SPINS`]).
     fn gather<B: CombineBackend<K, V>>(&self, backend: &mut B, s: &mut CombineScratch<K, V>) {
         s.round.clear();
+        backend.touch_shared(true);
         self.peak_pending.fetch_max(self.pending.load(Ordering::SeqCst), Ordering::Relaxed);
         let window = self.window.load(Ordering::Relaxed).clamp(1, self.max_window());
         let mut spins = 0u32;
@@ -439,6 +474,8 @@ impl<K: KeyType, V: ValueType> CombineShared<K, V> {
             }
             spins += 1;
             backend.relax();
+            // Each linger iteration re-reads the rings and counters.
+            backend.touch_shared(true);
         }
     }
 
@@ -452,9 +489,25 @@ impl<K: KeyType, V: ValueType> CombineShared<K, V> {
         s.insert_buf.clear();
         s.delete_cells.clear();
         let round_len = s.round.len();
+        // CombinerDropsForeignInsert: acknowledge delegated inserts —
+        // those gathered from *another* thread's lane — as served
+        // without issuing them. The combiner's own requests still go
+        // through, so the bug is invisible until a schedule makes one
+        // thread actually combine for another; then an acked key never
+        // reaches the backend and only front-level accounting can tell.
+        #[cfg(any(test, feature = "mutations"))]
+        let own_cell = (self.mutation == Mutation::CombinerDropsForeignInsert)
+            .then(|| thread_cell::<K, V>(self.instance));
         for (cell, op) in s.round.drain(..) {
             match op {
                 Op::Insert(e) => {
+                    #[cfg(any(test, feature = "mutations"))]
+                    if let Some(own) = &own_cell {
+                        if !std::sync::Arc::ptr_eq(&cell, own) {
+                            self.finish(&cell, Ok(None));
+                            continue;
+                        }
+                    }
                     s.insert_cells.push(cell);
                     s.insert_buf.push(e);
                 }
@@ -509,6 +562,8 @@ impl<K: KeyType, V: ValueType> CombineShared<K, V> {
         let mut saw_full = false;
         let mut done = 0;
         while done < total {
+            // Every chunk completes cells waiters are polling on.
+            backend.touch_shared(true);
             if *tripped {
                 // An earlier chunk of this round crashed the backend;
                 // fail the rest without touching it again.
@@ -602,6 +657,8 @@ impl<K: KeyType, V: ValueType> CombineShared<K, V> {
         s.delete_out.clear();
         let mut done = 0;
         while done < total {
+            // Every chunk completes cells waiters are polling on.
+            backend.touch_shared(true);
             if *tripped {
                 for cell in &s.delete_cells[done..total] {
                     self.finish(cell, Err(QueueError::Poisoned));

@@ -103,6 +103,19 @@ impl<'a, K: KeyType, V: ValueType, P: Platform> Crit<'a, K, V, P> {
         self.q.platform.backoff_long(self.w);
     }
 
+    /// Tag a lock-free access to `lock`'s co-located state word (node
+    /// state, root-min hint) for schedule exploration; no-op elsewhere.
+    #[inline]
+    fn touch(&mut self, lock: usize, write: bool) {
+        self.q.platform.touch(self.w, lock, write);
+    }
+
+    /// Tag a lock-free queue-wide access (the poison flag).
+    #[inline]
+    fn touch_domain(&mut self, write: bool) {
+        self.q.platform.touch_domain(self.w, write);
+    }
+
     /// Acquire `lock` and track it. A watchdog failure is counted and
     /// surfaced; the caller decides whether it poisons (see
     /// [`Crit::lock_or_poison`]).
@@ -127,6 +140,7 @@ impl<'a, K: KeyType, V: ValueType, P: Platform> Crit<'a, K, V, P> {
     /// mutated yet, so failure (or an existing poison) is clean — the
     /// operation simply never starts.
     fn lock_entry(&mut self, lock: usize) -> Result<(), QueueError> {
+        self.touch_domain(false);
         if self.q.is_poisoned() {
             return Err(QueueError::Poisoned);
         }
@@ -146,6 +160,7 @@ impl<'a, K: KeyType, V: ValueType, P: Platform> Crit<'a, K, V, P> {
                 Ok(())
             }
             Err(e) => {
+                self.touch_domain(true);
                 self.q.poison_now();
                 self.release_all();
                 Err(e)
@@ -500,6 +515,7 @@ impl<K: KeyType, V: ValueType, P: Platform> Bgpq<K, V, P> {
     fn unlock_path(&self, c: &mut Crit<'_, K, V, P>, lock: usize, ctx: &mut OpCtx<K>) {
         if lock == ROOT {
             self.linearize_insert(ctx);
+            c.touch(ROOT, true);
             self.publish_root_min();
         }
         c.unlock(lock);
@@ -672,6 +688,7 @@ impl<K: KeyType, V: ValueType, P: Platform> Bgpq<K, V, P> {
                 m.heap_size = 1;
             }
             c.charge(PrimitiveCost::GlobalWrite { n: size });
+            c.touch(ROOT, true);
             self.storage.set_state(ROOT, NodeState::Avail);
             OpStats::bump(&self.stats.inserts_buffered);
             self.linearize_insert(ctx);
@@ -711,6 +728,7 @@ impl<K: KeyType, V: ValueType, P: Platform> Bgpq<K, V, P> {
             c.charge(PrimitiveCost::GlobalWrite { n: buf_len + size });
             OpStats::bump(&self.stats.inserts_buffered);
             self.linearize_insert(ctx);
+            c.touch(ROOT, true);
             self.publish_root_min();
             c.unlock(ROOT);
             return Ok(());
@@ -743,6 +761,7 @@ impl<K: KeyType, V: ValueType, P: Platform> Bgpq<K, V, P> {
         if let Err(e) = c.lock_or_poison(tar) {
             return self.insert_tail(ctx, e);
         }
+        c.touch(tar, true);
         self.storage.set_state(tar, NodeState::Target);
         self.record_protocol(ProtocolKind::TargetSet, tar);
         c.unlock(tar);
@@ -751,6 +770,7 @@ impl<K: KeyType, V: ValueType, P: Platform> Bgpq<K, V, P> {
         // the lock we currently hold — initially the root.
         let mut held = ROOT;
         let mut cur = next_on_path(ROOT, tar);
+        c.touch(tar, false);
         while cur != tar && self.storage.state(tar) != NodeState::Marked {
             c.inject(InjectionPoint::MidInsertHeapify);
             if let Err(e) = c.lock_or_poison(cur) {
@@ -772,6 +792,7 @@ impl<K: KeyType, V: ValueType, P: Platform> Bgpq<K, V, P> {
             }
             c.charge(PrimitiveCost::GlobalWrite { n: k });
             cur = next_on_path(cur, tar);
+            c.touch(tar, false);
         }
 
         // Alg. 1 lines 8-14.
@@ -780,6 +801,7 @@ impl<K: KeyType, V: ValueType, P: Platform> Bgpq<K, V, P> {
             return self.insert_tail(ctx, e);
         }
         self.unlock_path(c, held, ctx);
+        c.touch(tar, false);
         if self.storage.state(tar) == NodeState::Target {
             // SAFETY: we hold tar's lock and it is TARGET (reserved for
             // us; no keys yet).
@@ -787,6 +809,7 @@ impl<K: KeyType, V: ValueType, P: Platform> Bgpq<K, V, P> {
                 self.storage.node_mut(tar).copy_from_slice(&buf[..k]);
             }
             c.charge(PrimitiveCost::GlobalWrite { n: k });
+            c.touch(tar, true);
             self.storage.set_state(tar, NodeState::Avail);
             self.record_protocol(ProtocolKind::TargetFilled, tar);
         } else {
@@ -803,6 +826,7 @@ impl<K: KeyType, V: ValueType, P: Platform> Bgpq<K, V, P> {
                 // `Mutation::MarkedHandoffEarlyAvail`): publish AVAIL
                 // before the stolen keys land. A deleter scheduled into
                 // the charge below reads a stale root.
+                c.touch(ROOT, true);
                 self.storage.set_state(ROOT, NodeState::Avail);
                 c.charge(PrimitiveCost::GlobalWrite { n: k });
                 unsafe {
@@ -818,8 +842,10 @@ impl<K: KeyType, V: ValueType, P: Platform> Bgpq<K, V, P> {
                     self.storage.meta_mut().root_len = k;
                 }
                 c.charge(PrimitiveCost::GlobalWrite { n: k });
+                c.touch(ROOT, true);
                 self.storage.set_state(ROOT, NodeState::Avail);
             }
+            c.touch(tar, true);
             self.storage.set_state(tar, NodeState::Empty);
             OpStats::bump(&self.stats.collaborations);
             self.record_protocol(ProtocolKind::CollabRefill, tar);
@@ -932,12 +958,16 @@ impl<K: KeyType, V: ValueType, P: Platform> Bgpq<K, V, P> {
         want: NodeState,
     ) -> Result<(), QueueError> {
         let mut iters: u64 = 0;
+        // Each poll reads the awaited state word and the poison flag;
+        // the domain-read covers both (reads commute with other polls).
+        c.touch_domain(false);
         while self.storage.state(node) != want {
             if self.is_poisoned() {
                 return Err(QueueError::Poisoned);
             }
             iters += 1;
             if iters > self.opts.marked_spin_bound {
+                c.touch_domain(true);
                 self.poison_now();
                 return Err(QueueError::Poisoned);
             }
@@ -950,6 +980,7 @@ impl<K: KeyType, V: ValueType, P: Platform> Bgpq<K, V, P> {
             } else {
                 c.backoff();
             }
+            c.touch_domain(false);
         }
         Ok(())
     }
@@ -1027,6 +1058,7 @@ impl<K: KeyType, V: ValueType, P: Platform> Bgpq<K, V, P> {
                 if m.root_len == 0 {
                     // Heap fully drained; reset to the empty state.
                     m.heap_size = 0;
+                    c.touch(ROOT, true);
                     self.storage.set_state(ROOT, NodeState::Empty);
                 }
             }
@@ -1036,6 +1068,7 @@ impl<K: KeyType, V: ValueType, P: Platform> Bgpq<K, V, P> {
         }
 
         // ---- refill the root from a heap node (Alg. 2 lines 4-14) ----
+        c.touch(ROOT, true);
         self.storage.set_state(ROOT, NodeState::Empty);
         let remained = count - (out.len() - start);
         let tar = unsafe {
@@ -1048,11 +1081,13 @@ impl<K: KeyType, V: ValueType, P: Platform> Bgpq<K, V, P> {
         c.lock_or_poison(tar)?;
         c.charge(PrimitiveCost::Atomic);
 
+        c.touch(tar, false);
         if self.storage.state(tar) == NodeState::Target {
             if self.opts.use_collaboration {
                 // Collaborate: the in-flight insertion refills the root
                 // directly (§4.3; footnote 2: we spin holding the root
                 // lock). Bounded: a dead inserter must not wedge us.
+                c.touch(tar, true);
                 self.storage.set_state(tar, NodeState::Marked);
                 self.record_protocol(ProtocolKind::MarkedSet, tar);
                 c.unlock(tar);
@@ -1135,8 +1170,10 @@ impl<K: KeyType, V: ValueType, P: Platform> Bgpq<K, V, P> {
             self.storage.meta_mut().root_len = k;
         }
         c.charge(PrimitiveCost::GlobalWrite { n: k });
+        c.touch(tar, true);
         self.storage.set_state(tar, NodeState::Empty);
         c.unlock(tar);
+        c.touch(ROOT, true);
         self.storage.set_state(ROOT, NodeState::Avail);
     }
 
@@ -1185,6 +1222,12 @@ impl<K: KeyType, V: ValueType, P: Platform> Bgpq<K, V, P> {
             }
             if r_in {
                 c.lock_or_poison(r)?;
+            }
+            if l_in {
+                c.touch(l, false);
+            }
+            if r_in {
+                c.touch(r, false);
             }
             let l_has = l_in && self.storage.state(l) == NodeState::Avail;
             let r_has = r_in && self.storage.state(r) == NodeState::Avail;
@@ -1322,6 +1365,7 @@ impl<K: KeyType, V: ValueType, P: Platform> Bgpq<K, V, P> {
             self.items.fetch_sub(got.len() as i64, Ordering::Relaxed);
             OpStats::add(&self.stats.items_deleted, got.len() as u64);
             self.linearize_delete(ctx, out, start);
+            c.touch(ROOT, true);
             self.publish_root_min();
         }
         c.unlock(lock);
@@ -1409,6 +1453,9 @@ impl<K: KeyType, V: ValueType, P: Platform> Bgpq<K, V, P> {
     /// Works on healthy queues too (drain-and-reset), where
     /// `lost() == 0` at quiescence.
     pub fn salvage_reset(&self, w: &mut P::Worker, out: &mut Vec<Entry<K, V>>) -> SalvageOutcome {
+        // The walk reads, and the reset rewrites, the entire queue:
+        // conflicts with every operation on it.
+        self.platform.touch_domain(w, true);
         let was_poisoned = self.is_poisoned();
         let k = self.opts.node_capacity;
         let expected = self.items.load(Ordering::SeqCst).max(0) as usize;

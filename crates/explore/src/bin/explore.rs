@@ -1,27 +1,34 @@
 //! Schedule-exploration CLI.
 //!
 //! ```text
-//! explore explore [--key-steal | --gen SEED] [--k K] [--blocks B] [--ops N]
-//!                 [--mutate] [--budget P] [--max-runs R] [--random N] [--out FILE]
+//! explore explore [--key-steal | --gen SEED] [--front shard|combine]
+//!                 [--k K] [--blocks B] [--ops N] [--mutate NAME]
+//!                 [--budget P] [--max-runs R] [--no-sleep-sets]
+//!                 [--random N] [--out FILE]
 //! explore replay FILE [--expect-violation]
 //! explore shrink FILE [--out FILE]
 //! ```
 //!
-//! `explore` enumerates schedules (exhaustive DFS by default, random
-//! walks with `--random N`) and, on a violation, shrinks the failing
-//! schedule and writes a replayable `.sched` artifact. Exit status: 0
+//! `explore` enumerates schedules (exhaustive DFS with sleep-set
+//! partial-order reduction by default, unreduced with
+//! `--no-sleep-sets`, random walks with `--random N`) and, on a
+//! violation, shrinks the failing schedule and writes a replayable
+//! `.sched` artifact. `--front` swaps the single shared queue for the
+//! sharded-router or flat-combining workload; `--mutate NAME`
+//! re-introduces a named protocol bug (`marked-early-avail`,
+//! `sweep-discards-on-trip`, `combiner-drops-foreign`). Exit status: 0
 //! clean, 1 counterexample found, 2 usage/parse error.
 
-use bgpq::Mutation;
 use bgpq_explore::{
-    explore, install_quiet_panic_hook, random_walks, replay, shrink, ExploreConfig, SchedFile,
-    WorkloadSpec,
+    explore, install_quiet_panic_hook, parse_mutation, random_walks, replay, shrink, summary_line,
+    ExploreConfig, SchedFile, WorkloadSpec,
 };
 use std::process::ExitCode;
+use std::time::Instant;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  explore explore [--key-steal | --gen SEED] [--k K] [--blocks B] [--ops N]\n                  [--mutate] [--budget P] [--max-runs R] [--random N] [--out FILE]\n  explore replay FILE [--expect-violation]\n  explore shrink FILE [--out FILE]"
+        "usage:\n  explore explore [--key-steal | --gen SEED] [--front shard|combine]\n                  [--k K] [--blocks B] [--ops N] [--mutate NAME]\n                  [--budget P] [--max-runs R] [--no-sleep-sets] [--random N] [--out FILE]\n  explore replay FILE [--expect-violation]\n  explore shrink FILE [--out FILE]"
     );
     ExitCode::from(2)
 }
@@ -47,15 +54,22 @@ impl Args {
 
 fn build_spec(args: &Args) -> Result<WorkloadSpec, String> {
     let k: usize = args.opt("--k")?.unwrap_or(4);
-    let mut spec = if let Some(seed) = args.opt::<u64>("--gen")? {
-        let blocks = args.opt("--blocks")?.unwrap_or(3);
-        let ops = args.opt("--ops")?.unwrap_or(8);
-        WorkloadSpec::generated(seed, blocks, k, ops)
-    } else {
-        WorkloadSpec::key_steal_mix(k)
+    let mut spec = match args.opt::<String>("--front")?.as_deref() {
+        Some("shard") => WorkloadSpec::sharded_mix(k),
+        Some("combine") => WorkloadSpec::combined_mix(k),
+        Some(other) => return Err(format!("unknown front `{other}` (shard|combine)")),
+        None => {
+            if let Some(seed) = args.opt::<u64>("--gen")? {
+                let blocks = args.opt("--blocks")?.unwrap_or(3);
+                let ops = args.opt("--ops")?.unwrap_or(8);
+                WorkloadSpec::generated(seed, blocks, k, ops)
+            } else {
+                WorkloadSpec::key_steal_mix(k)
+            }
+        }
     };
-    if args.has("--mutate") {
-        spec = spec.with_mutation(Mutation::MarkedHandoffEarlyAvail);
+    if let Some(name) = args.opt::<String>("--mutate")? {
+        spec = spec.with_mutation(parse_mutation(&name)?);
     }
     Ok(spec)
 }
@@ -65,17 +79,15 @@ fn cmd_explore(args: &Args) -> Result<ExitCode, String> {
     let cfg = ExploreConfig {
         preemption_budget: args.opt("--budget")?.unwrap_or(2),
         max_runs: args.opt("--max-runs")?.unwrap_or(20_000),
+        use_sleep_sets: !args.has("--no-sleep-sets"),
     };
+    let started = Instant::now();
     let report = if let Some(walks) = args.opt::<usize>("--random")? {
         random_walks(&spec, walks, args.opt("--seed")?.unwrap_or(1), 70)
     } else {
         explore(&spec, &cfg)
     };
-    println!(
-        "explored {} schedule(s); {}",
-        report.runs,
-        if report.exhausted { "bounded tree exhausted" } else { "search stopped early" }
-    );
+    println!("{}", summary_line(&report, started.elapsed()));
     let Some(ce) = report.counterexample else {
         println!("no violation found");
         return Ok(ExitCode::SUCCESS);

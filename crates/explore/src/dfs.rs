@@ -12,11 +12,26 @@
 //! step that provably makes no progress) is never explored. With `b`
 //! preemptions the tree is finite and small, yet covers every schedule
 //! most concurrency bugs need (empirically almost all need ≤ 2).
+//!
+//! On top of context bounding the search applies **sleep sets**
+//! (Godefroid-style partial-order reduction): every decision carries
+//! the shared-memory footprint of the macro step it started (see
+//! [`gpu_sim::Decision::footprint`]), two steps are *independent* when
+//! their footprints don't conflict (no overlapping access with at
+//! least one write — disjoint queues, shards or submission lanes
+//! commute; same-lock or same-node traffic does not), and a sibling
+//! already explored at a node is put to sleep for the node's later
+//! children until a dependent step wakes it. Sleeping transitions are
+//! pruned without execution. Classic sleep sets are sound for full
+//! DFS; under a *preemption budget* the covering sibling may have had
+//! a different remaining budget, so the reduction is kept validated by
+//! a differential oracle against the unreduced search
+//! (`use_sleep_sets: false`) rather than assumed — see DESIGN §5.1.
 
 use crate::run::{run_schedule, RunOutcome, Violation};
 use crate::spec::WorkloadSpec;
 use crate::strategy::{overrides_of, PrefixStrategy, RandomWalkStrategy};
-use gpu_sim::{AgentId, Decision};
+use gpu_sim::{footprints_conflict, Access, AgentId, Decision};
 use std::sync::Arc;
 
 /// Exploration limits.
@@ -27,11 +42,15 @@ pub struct ExploreConfig {
     /// Hard cap on executed runs (0 = unlimited); exceeding it reports
     /// `exhausted: false`.
     pub max_runs: usize,
+    /// Apply sleep-set partial-order reduction (on by default). Off
+    /// runs the unreduced search — the differential oracle the reduced
+    /// search is validated against.
+    pub use_sleep_sets: bool,
 }
 
 impl Default for ExploreConfig {
     fn default() -> Self {
-        Self { preemption_budget: 2, max_runs: 20_000 }
+        Self { preemption_budget: 2, max_runs: 20_000, use_sleep_sets: true }
     }
 }
 
@@ -48,10 +67,13 @@ pub struct Counterexample {
 }
 
 /// What an exploration covered and found.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct ExploreReport {
     /// Schedules executed.
     pub runs: usize,
+    /// Subtrees the sleep-set reduction proved redundant and skipped
+    /// (0 for the unreduced search and for random walks).
+    pub pruned: usize,
     /// The bounded tree was fully enumerated (always `false` once a
     /// counterexample stops the search, and for random walks).
     pub exhausted: bool,
@@ -74,13 +96,24 @@ fn costs_preemption(d: &Decision, alt: AgentId) -> bool {
 
 /// Exhaustively explore every schedule of `spec` reachable with at most
 /// `cfg.preemption_budget` preemptions, stopping at the first oracle
-/// violation. Depth-first over decision prefixes.
+/// violation. Depth-first over decision prefixes, with sleep-set
+/// partial-order reduction unless `cfg.use_sleep_sets` is off.
 pub fn explore(spec: &WorkloadSpec, cfg: &ExploreConfig) -> ExploreReport {
+    if cfg.use_sleep_sets {
+        explore_reduced(spec, cfg)
+    } else {
+        explore_unreduced(spec, cfg)
+    }
+}
+
+/// The unreduced bounded DFS: every affordable alternative is executed.
+/// Kept callable as the differential oracle for the sleep-set search.
+fn explore_unreduced(spec: &WorkloadSpec, cfg: &ExploreConfig) -> ExploreReport {
     let mut stack: Vec<Vec<AgentId>> = vec![Vec::new()];
     let mut runs = 0usize;
     while let Some(prefix) = stack.pop() {
         if cfg.max_runs != 0 && runs >= cfg.max_runs {
-            return ExploreReport { runs, exhausted: false, counterexample: None };
+            return ExploreReport { runs, pruned: 0, exhausted: false, counterexample: None };
         }
         let frontier = prefix.len();
         let out = run_schedule(spec, Arc::new(PrefixStrategy { prefix: prefix.clone() }));
@@ -88,6 +121,7 @@ pub fn explore(spec: &WorkloadSpec, cfg: &ExploreConfig) -> ExploreReport {
         if out.violation.is_some() {
             return ExploreReport {
                 runs,
+                pruned: 0,
                 exhausted: false,
                 counterexample: Some(counterexample_of(&out)),
             };
@@ -119,7 +153,120 @@ pub fn explore(spec: &WorkloadSpec, cfg: &ExploreConfig) -> ExploreReport {
             preemptions += usize::from(costs_preemption(d, d.chosen));
         }
     }
-    ExploreReport { runs, exhausted: true, counterexample: None }
+    ExploreReport { runs, pruned: 0, exhausted: true, counterexample: None }
+}
+
+/// One sleeping transition: `agent` was already explored as a sibling
+/// at some node on the current path, executing a macro step with
+/// shared-memory footprint `fp`. While every step executed since is
+/// independent of `fp`, re-running `agent` here would commute into a
+/// schedule that sibling's subtree already covered.
+#[derive(Debug, Clone)]
+struct SleepEntry {
+    agent: AgentId,
+    fp: Vec<Access>,
+}
+
+struct SearchState {
+    runs: usize,
+    pruned: usize,
+}
+
+enum Stop {
+    Capped,
+    Found(Counterexample),
+}
+
+fn explore_reduced(spec: &WorkloadSpec, cfg: &ExploreConfig) -> ExploreReport {
+    let mut st = SearchState { runs: 0, pruned: 0 };
+    let (exhausted, counterexample) =
+        match explore_sleep(spec, cfg, &mut st, Vec::new(), Vec::new()) {
+            Ok(_) => (true, None),
+            Err(Stop::Capped) => (false, None),
+            Err(Stop::Found(cx)) => (false, Some(cx)),
+        };
+    ExploreReport { runs: st.runs, pruned: st.pruned, exhausted, counterexample }
+}
+
+/// Execute the node reached by `prefix` and recurse over its children,
+/// threading sleep sets. `inherited` is the sleep set at the *branch
+/// node* (before this node's own step ran); the first thing this call
+/// does after running is wake every entry whose footprint conflicts
+/// with the step that brought us here. Returns that step's footprint so
+/// the parent can put this sibling to sleep for later siblings.
+fn explore_sleep(
+    spec: &WorkloadSpec,
+    cfg: &ExploreConfig,
+    st: &mut SearchState,
+    prefix: Vec<AgentId>,
+    inherited: Vec<SleepEntry>,
+) -> Result<Vec<Access>, Stop> {
+    if cfg.max_runs != 0 && st.runs >= cfg.max_runs {
+        return Err(Stop::Capped);
+    }
+    let frontier = prefix.len();
+    let out = run_schedule(spec, Arc::new(PrefixStrategy { prefix }));
+    st.runs += 1;
+    if out.violation.is_some() {
+        return Err(Stop::Found(counterexample_of(&out)));
+    }
+    let my_fp: Vec<Access> = match frontier {
+        0 => Vec::new(),
+        n => out.decisions.get(n - 1).map(|d| d.footprint.clone()).unwrap_or_default(),
+    };
+    // Wake inherited sleepers that conflict with the step that brought
+    // us here; the independent rest stay covered.
+    let mut sleep: Vec<SleepEntry> =
+        inherited.into_iter().filter(|e| !footprints_conflict(&e.fp, &my_fp)).collect();
+    let mut preemptions = 0usize;
+    for (j, d) in out.decisions.iter().enumerate() {
+        if j >= frontier {
+            if sleep.iter().any(|e| e.agent == d.chosen) {
+                // The default continuation executed a sleeping
+                // transition: every schedule reachable from here
+                // commutes into one an earlier sibling's subtree
+                // already covered. Spawn nothing below this point.
+                st.pruned += 1;
+                break;
+            }
+            // Siblings at this node, explored in order; each one goes
+            // to sleep (with its *observed* first-step footprint) for
+            // the siblings after it. The default continuation counts
+            // as the first-explored sibling — this very run covered it.
+            let mut node_sleep = sleep.clone();
+            node_sleep.push(SleepEntry { agent: d.chosen, fp: d.footprint.clone() });
+            for &alt in &d.ready {
+                if alt == d.chosen {
+                    continue;
+                }
+                // Stutter: re-picking a spinning yielder re-runs the
+                // same failed poll with nothing changed.
+                if d.spin && d.yielder == Some(alt) {
+                    continue;
+                }
+                let cost = usize::from(costs_preemption(d, alt));
+                if preemptions + cost > cfg.preemption_budget {
+                    continue;
+                }
+                if node_sleep.iter().any(|e| e.agent == alt) {
+                    // Asleep: an earlier sibling (here or at an
+                    // ancestor, still independent of everything since)
+                    // already covered this subtree.
+                    st.pruned += 1;
+                    continue;
+                }
+                let mut next: Vec<AgentId> = out.decisions[..j].iter().map(|p| p.chosen).collect();
+                next.push(alt);
+                let child_fp = explore_sleep(spec, cfg, st, next, node_sleep.clone())?;
+                node_sleep.push(SleepEntry { agent: alt, fp: child_fp });
+            }
+        }
+        preemptions += usize::from(costs_preemption(d, d.chosen));
+        // Step to the next node along the default continuation: the
+        // chosen step wakes dependent sleepers.
+        sleep.retain(|e| !footprints_conflict(&e.fp, &d.footprint));
+    }
+    Ok(my_fp)
 }
 
 /// Run `walks` weighted random walks (seeds derived from `base_seed`),
@@ -136,12 +283,13 @@ pub fn random_walks(
         if out.violation.is_some() {
             return ExploreReport {
                 runs: i + 1,
+                pruned: 0,
                 exhausted: false,
                 counterexample: Some(counterexample_of(&out)),
             };
         }
     }
-    ExploreReport { runs: walks, exhausted: false, counterexample: None }
+    ExploreReport { runs: walks, pruned: 0, exhausted: false, counterexample: None }
 }
 
 #[cfg(test)]
@@ -151,7 +299,10 @@ mod tests {
     #[test]
     fn budget_zero_explores_exactly_the_default_schedule() {
         let spec = WorkloadSpec::key_steal_mix(4);
-        let report = explore(&spec, &ExploreConfig { preemption_budget: 0, max_runs: 0 });
+        let report = explore(
+            &spec,
+            &ExploreConfig { preemption_budget: 0, max_runs: 0, ..Default::default() },
+        );
         assert!(report.exhausted);
         assert!(report.counterexample.is_none());
         // Budget 0 still explores free switches, but a 2-agent workload
@@ -163,8 +314,27 @@ mod tests {
     #[test]
     fn max_runs_caps_the_search_without_exhausting() {
         let spec = WorkloadSpec::key_steal_mix(4);
-        let report = explore(&spec, &ExploreConfig { preemption_budget: 2, max_runs: 3 });
+        let report = explore(
+            &spec,
+            &ExploreConfig { preemption_budget: 2, max_runs: 3, ..Default::default() },
+        );
         assert_eq!(report.runs, 3);
         assert!(!report.exhausted);
+    }
+
+    #[test]
+    fn sleep_sets_explore_a_subset_with_the_same_verdict() {
+        let spec = WorkloadSpec::key_steal_mix(2);
+        let base = ExploreConfig { preemption_budget: 1, max_runs: 0, use_sleep_sets: false };
+        let unreduced = explore(&spec, &base);
+        let reduced = explore(&spec, &ExploreConfig { use_sleep_sets: true, ..base });
+        assert!(unreduced.exhausted && reduced.exhausted);
+        assert!(unreduced.counterexample.is_none() && reduced.counterexample.is_none());
+        assert!(
+            reduced.runs <= unreduced.runs,
+            "reduction must never add runs ({} > {})",
+            reduced.runs,
+            unreduced.runs
+        );
     }
 }

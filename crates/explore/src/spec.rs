@@ -40,6 +40,26 @@ pub enum WorkOp {
     DeleteMin(usize),
 }
 
+/// Which submission front the scripted agents drive.
+///
+/// `Single` is the original subject: every agent calls one shared
+/// [`bgpq::Bgpq`] directly. The other two wrap that same heap in a
+/// cross-crate front so the explorer can model-check the *composition*:
+/// the shard router's circuit breaker + salvage re-admission
+/// (`bgpq-shard`) and the flat combiner's tenure handoff
+/// (`bgpq-combine`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FrontSpec {
+    /// One shared queue, direct calls (the original subject).
+    #[default]
+    Single,
+    /// `bgpq-shard` router over `shards` independent heaps, with the
+    /// circuit breaker and salvage re-admission armed.
+    Sharded { shards: usize },
+    /// `bgpq-combine` flat-combining front over one backing heap.
+    Combined,
+}
+
 /// Everything about an exploration subject except the schedule.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct WorkloadSpec {
@@ -57,6 +77,12 @@ pub struct WorkloadSpec {
     /// Deterministic fault plan composed into the platform (empty = no
     /// faults).
     pub faults: Vec<FaultRule>,
+    /// Submission front the agents drive (default: one shared queue).
+    pub front: FrontSpec,
+    /// For `FrontSpec::Sharded`: attach the fault plan to this shard's
+    /// platform only, so exactly one shard can crash. `None` arms the
+    /// plan on every shard (or, for other fronts, the one platform).
+    pub fault_shard: Option<usize>,
 }
 
 impl WorkloadSpec {
@@ -102,6 +128,62 @@ impl WorkloadSpec {
                 vec![WorkOp::DeleteMin(k.div_ceil(2)), WorkOp::DeleteMin(k)],
             ],
             faults: Vec::new(),
+            front: FrontSpec::Single,
+            fault_shard: None,
+        }
+    }
+
+    /// The canonical sharded-router workload: three shards behind the
+    /// `bgpq-shard` router with the circuit breaker and salvage
+    /// re-admission armed, and shard 2 rigged to crash its first
+    /// visitor (panic on the first lock acquisition, before any key
+    /// moves — so shard 2 provably never holds keys and the strict
+    /// front-level accounting oracle is valid in *every* schedule).
+    ///
+    /// Agent 0 issues two deletes (its pick loop samples every shard,
+    /// so it can trip over the poisoned shard and quarantine it);
+    /// agents 1 and 2 insert with their block id as routing affinity.
+    pub fn sharded_mix(k: usize) -> Self {
+        assert!(k >= 2, "sharded mix needs k >= 2");
+        Self {
+            k,
+            max_nodes: 16,
+            use_collaboration: false,
+            mutation: Mutation::None,
+            scripts: vec![
+                vec![WorkOp::DeleteMin(2), WorkOp::DeleteMin(2)],
+                vec![WorkOp::Insert(vec![10, 11])],
+                vec![WorkOp::Insert(vec![50])],
+            ],
+            faults: vec![FaultRule {
+                point: InjectionPoint::PostLockAcquire,
+                nth: 1,
+                action: FaultAction::Panic,
+            }],
+            front: FrontSpec::Sharded { shards: 3 },
+            fault_shard: Some(2),
+        }
+    }
+
+    /// The canonical flat-combining workload: two agents submit
+    /// single-key operations through one `bgpq-combine` front over a
+    /// shared backing heap. Deliberately minimal — polling waiters make
+    /// every extra agent multiply the schedule tree through free
+    /// switches — yet two agents already cover combiner election,
+    /// request gathering, and the tenure-handoff window (one agent can
+    /// take the combiner lock exactly when the other's post-release
+    /// re-acquire fails).
+    pub fn combined_mix(k: usize) -> Self {
+        assert!(k >= 1, "combined mix needs k >= 1");
+        Self {
+            k,
+            max_nodes: 16,
+            use_collaboration: false,
+            mutation: Mutation::None,
+            scripts: vec![vec![WorkOp::Insert(vec![5])], vec![WorkOp::DeleteMin(1)]],
+            faults: Vec::new(),
+            front: FrontSpec::Combined,
+            fault_shard: None,
         }
     }
 
@@ -139,6 +221,8 @@ impl WorkloadSpec {
             mutation: Mutation::None,
             scripts,
             faults: Vec::new(),
+            front: FrontSpec::Single,
+            fault_shard: None,
         }
     }
 
@@ -153,6 +237,18 @@ impl WorkloadSpec {
         self.faults = faults;
         self
     }
+
+    /// Same spec driving a different submission front.
+    pub fn with_front(mut self, front: FrontSpec) -> Self {
+        self.front = front;
+        self
+    }
+
+    /// Same spec with the fault plan pinned to one shard's platform.
+    pub fn with_fault_shard(mut self, shard: Option<usize>) -> Self {
+        self.fault_shard = shard;
+        self
+    }
 }
 
 /// A spec plus the sparse schedule overrides that reproduce one
@@ -164,17 +260,23 @@ pub struct SchedFile {
     pub overrides: Vec<(u64, AgentId)>,
 }
 
-fn mutation_name(m: Mutation) -> &'static str {
+/// Stable CLI/`.sched` name for each [`Mutation`].
+pub fn mutation_name(m: Mutation) -> &'static str {
     match m {
         Mutation::None => "none",
         Mutation::MarkedHandoffEarlyAvail => "marked-early-avail",
+        Mutation::SweepDiscardsOnTrip => "sweep-discards-on-trip",
+        Mutation::CombinerDropsForeignInsert => "combiner-drops-foreign",
     }
 }
 
-fn parse_mutation(s: &str) -> Result<Mutation, String> {
+/// Inverse of [`mutation_name`].
+pub fn parse_mutation(s: &str) -> Result<Mutation, String> {
     match s {
         "none" => Ok(Mutation::None),
         "marked-early-avail" => Ok(Mutation::MarkedHandoffEarlyAvail),
+        "sweep-discards-on-trip" => Ok(Mutation::SweepDiscardsOnTrip),
+        "combiner-drops-foreign" => Ok(Mutation::CombinerDropsForeignInsert),
         other => Err(format!("unknown mutation `{other}`")),
     }
 }
@@ -205,6 +307,14 @@ impl fmt::Display for SchedFile {
         writeln!(f, "max-nodes {}", self.spec.max_nodes)?;
         writeln!(f, "collab {}", u8::from(self.spec.use_collaboration))?;
         writeln!(f, "mutation {}", mutation_name(self.spec.mutation))?;
+        match self.spec.front {
+            FrontSpec::Single => {}
+            FrontSpec::Sharded { shards } => writeln!(f, "front shard {shards}")?,
+            FrontSpec::Combined => writeln!(f, "front combine")?,
+        }
+        if let Some(s) = self.spec.fault_shard {
+            writeln!(f, "fault-shard {s}")?;
+        }
         writeln!(f, "blocks {}", self.spec.blocks())?;
         for (b, script) in self.spec.scripts.iter().enumerate() {
             write!(f, "script {b}")?;
@@ -251,6 +361,8 @@ impl SchedFile {
         let mut max_nodes = None;
         let mut collab = true;
         let mut mutation = Mutation::None;
+        let mut front = FrontSpec::Single;
+        let mut fault_shard = None;
         let mut scripts: Vec<Vec<WorkOp>> = Vec::new();
         let mut faults = Vec::new();
         let mut overrides = Vec::new();
@@ -266,6 +378,18 @@ impl SchedFile {
                 "collab" => collab = toks.get(1) == Some(&"1"),
                 "mutation" => {
                     mutation = parse_mutation(toks.get(1).ok_or("mutation needs a value")?)?
+                }
+                "front" => {
+                    front = match (toks.get(1).copied(), toks.get(2)) {
+                        (Some("shard"), Some(n)) => FrontSpec::Sharded { shards: int(n)? as usize },
+                        (Some("combine"), None) => FrontSpec::Combined,
+                        (Some("single"), None) => FrontSpec::Single,
+                        _ => return Err(format!("bad front in `{line}`")),
+                    }
+                }
+                "fault-shard" => {
+                    fault_shard =
+                        Some(int(toks.get(1).ok_or("fault-shard needs a value")?)? as usize)
                 }
                 "blocks" => {
                     let n = int(toks.get(1).ok_or("blocks needs a value")?)? as usize;
@@ -323,6 +447,8 @@ impl SchedFile {
             mutation,
             scripts,
             faults,
+            front,
+            fault_shard,
         };
         if spec.scripts.is_empty() {
             return Err("no blocks declared".into());
@@ -357,6 +483,30 @@ mod tests {
         assert_eq!(parsed, file);
         // And the re-serialization is stable.
         assert_eq!(parsed.to_string(), text);
+    }
+
+    #[test]
+    fn sched_file_roundtrips_multi_queue_fronts() {
+        for spec in [
+            WorkloadSpec::sharded_mix(2).with_mutation(Mutation::SweepDiscardsOnTrip),
+            WorkloadSpec::combined_mix(2).with_mutation(Mutation::CombinerDropsForeignInsert),
+        ] {
+            let file = SchedFile { spec, overrides: vec![(5, 2)] };
+            let text = file.to_string();
+            let parsed = SchedFile::parse(&text).expect("parses");
+            assert_eq!(parsed, file);
+            assert_eq!(parsed.to_string(), text);
+        }
+    }
+
+    #[test]
+    fn parse_defaults_to_single_front() {
+        // Old v1 artifacts carry no `front` / `fault-shard` directives;
+        // they must keep parsing as the original single-queue subject.
+        let text = "bgpq-explore sched v1\nk 4\nmax-nodes 8\nblocks 1\nscript 0 i 1\nend";
+        let parsed = SchedFile::parse(text).expect("parses");
+        assert_eq!(parsed.spec.front, FrontSpec::Single);
+        assert_eq!(parsed.spec.fault_shard, None);
     }
 
     #[test]

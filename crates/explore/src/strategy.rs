@@ -133,6 +133,7 @@ mod tests {
             spin,
             ready: ready.to_vec(),
             chosen,
+            footprint: Vec::new(),
         };
         let log = vec![
             d(0, Some(0), false, &[0, 1], 0), // default: continue

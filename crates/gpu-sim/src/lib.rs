@@ -40,7 +40,7 @@ pub mod vm;
 
 pub use config::GpuConfig;
 pub use sched::{
-    AgentId, BarrierId, Decision, LockId, PickPoint, ScheduleController, Scheduler, SimMetrics,
-    SimWorker, TraceEvent, TraceKind,
+    footprints_conflict, Access, AgentId, BarrierId, Decision, LockId, PickPoint,
+    ScheduleController, Scheduler, SimMetrics, SimWorker, TraceEvent, TraceKind, AGENT_BASE,
 };
 pub use vm::{launch, launch_phased, BlockCtx, PhaseKernel, SimReport};

@@ -92,6 +92,62 @@ pub struct TraceEvent {
     pub kind: TraceKind,
 }
 
+/// One tagged shared-memory access interval, the unit of the
+/// independence relation used by sleep-set partial-order reduction.
+///
+/// Addresses live in an abstract u64 space with disjoint regions:
+///
+/// * `[l, l]` — simulated lock `l` (the scheduler tags every
+///   lock/try_lock/unlock automatically). A platform's lock arena is a
+///   contiguous range, so an interval covering the whole arena
+///   conflicts with every lock op inside it.
+/// * `[AGENT_BASE | id, ..]` — agent-private progress: every grant is
+///   tagged, so even a macro step that touches nothing shared still
+///   conflicts with later steps of the *same* agent (program order is
+///   never commuted away).
+/// * `[0, u64::MAX]` — whole-run events (barriers, fail-stop lock
+///   handoff in `Drop`): conflict with everything.
+///
+/// Two accesses conflict when their intervals overlap and at least one
+/// side is a write; two macro steps commute when no pair of their
+/// accesses conflicts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Access {
+    pub lo: u64,
+    pub hi: u64,
+    pub write: bool,
+}
+
+/// Base of the agent-tag region (high bit: no lock arena reaches it).
+pub const AGENT_BASE: u64 = 1 << 63;
+
+impl Access {
+    /// Point access at a single address.
+    pub fn point(addr: u64, write: bool) -> Self {
+        Self { lo: addr, hi: addr, write }
+    }
+
+    /// The whole address space (conflicts with everything).
+    pub fn global() -> Self {
+        Self { lo: 0, hi: u64::MAX, write: true }
+    }
+
+    fn agent(id: AgentId) -> Self {
+        Self::point(AGENT_BASE | id as u64, true)
+    }
+
+    /// Overlapping intervals with at least one write.
+    pub fn conflicts(&self, other: &Access) -> bool {
+        (self.write || other.write) && self.lo <= other.hi && other.lo <= self.hi
+    }
+}
+
+/// Whether any access of `a` conflicts with any access of `b` — the
+/// dependence test between two recorded macro-step footprints.
+pub fn footprints_conflict(a: &[Access], b: &[Access]) -> bool {
+    a.iter().any(|x| b.iter().any(|y| x.conflicts(y)))
+}
+
 /// A yield point where the controlled scheduler has a real choice
 /// (at least two ready agents).
 #[derive(Debug)]
@@ -142,6 +198,13 @@ pub struct Decision {
     pub ready: Vec<AgentId>,
     /// The controller's choice.
     pub chosen: AgentId,
+    /// Shared-memory accesses of the macro step this decision started:
+    /// everything executed from this grant until the next logged
+    /// decision (singleton grants in between fold into the same step).
+    /// The scheduler tags lock traffic and per-agent progress
+    /// automatically; platforms tag lock-free accesses via
+    /// [`SimWorker::touch`]. Empty unless a controller is attached.
+    pub footprint: Vec<Access>,
 }
 
 impl Decision {
@@ -200,6 +263,11 @@ struct SchedInner {
     controller: Option<Arc<dyn ScheduleController>>,
     /// Log of controller consultations.
     decisions: Vec<Decision>,
+    /// Accesses accumulated since the last logged decision; flushed into
+    /// that decision's `footprint` when the next one is logged (or at
+    /// `take_decisions`). Accesses before the first decision (the
+    /// deterministic prologue) are discarded.
+    cur_fp: Vec<Access>,
     /// Set by a spin-flavored yield, consumed by the next controlled
     /// dispatch (tells the controller that staying on the yielder is a
     /// stutter step).
@@ -242,6 +310,7 @@ impl Scheduler {
                 trace_capacity: 0,
                 controller: None,
                 decisions: Vec::new(),
+                cur_fp: Vec::new(),
                 spin_yield: false,
             }),
             cvs: (0..agents).map(|_| Condvar::new()).collect(),
@@ -282,6 +351,7 @@ impl Scheduler {
             sched: Arc::clone(self),
             started: false,
             finished: false,
+            controlled: false,
             scratch: ScratchSlot::new(),
         }
     }
@@ -320,7 +390,12 @@ impl Scheduler {
     /// per controller consultation, i.e. per yield point that offered a
     /// real choice). Empty when no controller is attached.
     pub fn take_decisions(&self) -> Vec<Decision> {
-        std::mem::take(&mut self.inner.lock().decisions)
+        let mut inner = self.inner.lock();
+        let fp = std::mem::take(&mut inner.cur_fp);
+        if let Some(prev) = inner.decisions.last_mut() {
+            prev.footprint = fp;
+        }
+        std::mem::take(&mut inner.decisions)
     }
 
     /// Enable event tracing, keeping at most `capacity` events (older
@@ -368,6 +443,7 @@ impl Scheduler {
         inner.not_started = n;
         inner.last_running = None;
         inner.spin_yield = false;
+        inner.cur_fp.clear();
         // Lock arena is preserved: all locks must be free between waves.
         for (i, l) in inner.locks.iter().enumerate() {
             assert!(
@@ -392,6 +468,18 @@ impl Scheduler {
     // ------------------------------------------------------------------
     // internals — all take the inner guard
     // ------------------------------------------------------------------
+
+    /// Record a shared access into the current macro step's footprint.
+    /// No-op without a controller; consecutive identical accesses dedup.
+    fn tag(inner: &mut SchedInner, acc: Access) {
+        if inner.controller.is_none() {
+            return;
+        }
+        if inner.cur_fp.last() == Some(&acc) {
+            return;
+        }
+        inner.cur_fp.push(acc);
+    }
 
     fn push_ready(inner: &mut SchedInner, id: AgentId) {
         inner.status[id] = Status::Ready;
@@ -443,6 +531,10 @@ impl Scheduler {
                 if inner.last_running != Some(id) {
                     inner.metrics.switches += 1;
                 }
+                // Every grant (logged or singleton-forced) marks the
+                // granted agent's program-order progress in the current
+                // macro step.
+                Self::tag(inner, Access::agent(id));
                 inner.last_running = Some(id);
                 inner.status[id] = Status::Running;
                 inner.granted[id] = true;
@@ -514,7 +606,21 @@ impl Scheduler {
             ready.contains(&chosen),
             "schedule controller chose agent {chosen}, not in ready set {ready:?}"
         );
-        inner.decisions.push(Decision { step, yielder, spin, ready, chosen });
+        // The macro step of the *previous* decision ends here: flush the
+        // accesses accumulated since it was logged. The pre-decision-0
+        // prologue is schedule-independent and is simply discarded.
+        let fp = std::mem::take(&mut inner.cur_fp);
+        if let Some(prev) = inner.decisions.last_mut() {
+            prev.footprint = fp;
+        }
+        inner.decisions.push(Decision {
+            step,
+            yielder,
+            spin,
+            ready,
+            chosen,
+            footprint: Vec::new(),
+        });
         Some(chosen)
     }
 
@@ -542,6 +648,10 @@ pub struct SimWorker {
     sched: Arc<Scheduler>,
     started: bool,
     finished: bool,
+    /// Cached at `begin()`: a controller is attached, so access tagging
+    /// ([`SimWorker::touch`]) is live. Keeps the uncontrolled hot path
+    /// free of a scheduler-lock round trip per tag call.
+    controlled: bool,
     /// Parking spot for queue hot-path scratch arenas (zero-allocation
     /// steady state); owned by the agent, untouched by the scheduler.
     scratch: ScratchSlot,
@@ -570,6 +680,7 @@ impl SimWorker {
         self.started = true;
         let sched = Arc::clone(&self.sched);
         let mut inner = sched.inner.lock();
+        self.controlled = inner.controller.is_some();
         inner.not_started -= 1;
         // Registration order is OS-scheduling dependent; use the agent
         // id (optionally hashed under fuzzing) as the tie key so the
@@ -673,6 +784,20 @@ impl SimWorker {
         self.advance(0);
     }
 
+    /// Tag a lock-free shared-memory access `[lo, hi]` into the current
+    /// macro step's footprint (see [`Access`]). Lock-protected state
+    /// needs no tagging — the scheduler tags lock traffic itself and
+    /// mutual exclusion orders the protected accesses. No-op unless a
+    /// [`ScheduleController`] is attached.
+    pub fn touch(&mut self, lo: u64, hi: u64, write: bool) {
+        if !self.controlled {
+            return;
+        }
+        let sched = Arc::clone(&self.sched);
+        let mut inner = sched.inner.lock();
+        Scheduler::tag(&mut inner, Access { lo, hi, write });
+    }
+
     /// Acquire simulated lock `lock`. FIFO; blocks in virtual time while
     /// held. The caller is charged `atomic_cycles` for the lock word
     /// round trip before the attempt.
@@ -681,6 +806,7 @@ impl SimWorker {
         let sched = Arc::clone(&self.sched);
         let mut inner = sched.inner.lock();
         inner.metrics.lock_acquisitions += 1;
+        Scheduler::tag(&mut inner, Access::point(lock as u64, true));
         let me = self.id;
         let now = inner.vtime[me];
         if inner.locks[lock].holder.is_none() {
@@ -705,6 +831,7 @@ impl SimWorker {
         let sched = Arc::clone(&self.sched);
         let mut inner = sched.inner.lock();
         inner.metrics.lock_acquisitions += 1;
+        Scheduler::tag(&mut inner, Access::point(lock as u64, true));
         let me = self.id;
         if inner.locks[lock].holder.is_none() {
             inner.locks[lock].holder = Some(me);
@@ -738,6 +865,7 @@ impl SimWorker {
         let me = self.id;
         let now = inner.vtime[me];
         let handoff = sched.lock_handoff_cycles;
+        Scheduler::tag(&mut inner, Access::point(lock as u64, true));
         assert_eq!(inner.locks[lock].holder, Some(me), "unlock of a lock not held by agent {me}");
         Scheduler::trace(&mut inner, me, TraceKind::LockReleased(lock));
         match inner.locks[lock].waiters.pop_front() {
@@ -764,6 +892,7 @@ impl SimWorker {
         let mut inner = sched.inner.lock();
         let me = self.id;
         let now = inner.vtime[me];
+        Scheduler::tag(&mut inner, Access::global());
         Scheduler::trace(&mut inner, me, TraceKind::BarrierArrive(b));
         let max_vtime = inner.barriers[b].max_vtime.max(now);
         inner.barriers[b].max_vtime = max_vtime;
@@ -827,6 +956,9 @@ impl Drop for SimWorker {
         let mut inner = sched.inner.lock();
         let me = self.id;
         if !inner.poisoned {
+            // Fail-stop retirement perturbs every waiter queue and may
+            // hand off locks: conservatively conflict with everything.
+            Scheduler::tag(&mut inner, Access::global());
             let now = inner.vtime[me];
             let handoff = sched.lock_handoff_cycles;
             for lock in 0..inner.locks.len() {
@@ -1313,6 +1445,65 @@ mod tests {
         // The first decision has no yielder (nobody ran yet): forced.
         assert_eq!(decisions[0].yielder, None);
         assert!(!decisions[0].is_preemption());
+    }
+
+    #[test]
+    fn footprints_capture_locks_and_agent_progress() {
+        let sched = Scheduler::new(2);
+        let l = sched.create_locks(2);
+        sched.set_controller(Arc::new(ContinueStrategy));
+        std::thread::scope(|s| {
+            for id in 0..2 {
+                let mut w = sched.worker(id);
+                s.spawn(move || {
+                    w.begin();
+                    w.advance(1);
+                    w.lock(l + id, 1);
+                    w.touch(1000 + id as u64, 1000 + id as u64, id == 0);
+                    w.advance(3);
+                    w.unlock(l + id, 1);
+                    w.advance(1);
+                    w.finish();
+                });
+            }
+        });
+        let decisions = sched.take_decisions();
+        assert!(!decisions.is_empty());
+        // Every decision's step ran at least its chosen agent: the agent
+        // tag must be present (program order is never commuted away).
+        for d in &decisions {
+            assert!(
+                d.footprint.contains(&Access::agent(d.chosen)),
+                "decision {} missing agent tag: {:?}",
+                d.step,
+                d.footprint
+            );
+        }
+        let all: Vec<Access> = decisions.iter().flat_map(|d| d.footprint.clone()).collect();
+        // Both lock words and both explicit touches surface somewhere.
+        for lock in [l as u64, l as u64 + 1] {
+            assert!(all.contains(&Access::point(lock, true)), "lock {lock} untagged");
+        }
+        assert!(all.contains(&Access { lo: 1000, hi: 1000, write: true }));
+        assert!(all.contains(&Access { lo: 1001, hi: 1001, write: false }));
+        // Independence relation sanity: the two agents' touches are to
+        // distinct addresses and commute; same-address write/read do not.
+        let a = Access::point(1000, true);
+        let b = Access::point(1001, false);
+        assert!(!a.conflicts(&b));
+        assert!(a.conflicts(&Access::point(1000, false)));
+        assert!(!b.conflicts(&Access::point(1001, false)), "read/read commutes");
+        assert!(footprints_conflict(&[a, b], &[Access::global()]));
+        assert!(!footprints_conflict(&[a], &[b]));
+    }
+
+    #[test]
+    fn footprints_are_empty_without_controller() {
+        let sched = run_agents(2, |w, _| {
+            w.touch(7, 7, true);
+            w.advance(5);
+        });
+        assert!(sched.take_decisions().is_empty());
     }
 
     #[test]

@@ -70,7 +70,11 @@ pub struct SalvageReport {
 }
 
 impl SalvageReport {
-    fn from_outcome(o: SalvageOutcome) -> Self {
+    /// Build a report from a heap's raw [`SalvageOutcome`]. Public so
+    /// non-CPU salvagers (the schedule explorer's simulator-platform
+    /// salvage hook) can produce the same accounting the shard router's
+    /// breaker consumes.
+    pub fn from_outcome(o: SalvageOutcome) -> Self {
         Self {
             keys_recovered: o.recovered,
             keys_lost: o.lost(),

@@ -81,6 +81,27 @@ pub trait Platform: Send + Sync {
     /// delay, or panic the worker here; the default is a no-op.
     fn inject(&self, _w: &mut Self::Worker, _point: InjectionPoint) {}
 
+    /// Access-tagging hook for *lock-free* reads/writes of state
+    /// co-located with lock `lock` (BGPQ publishes per-node state words
+    /// and the root-min hint outside the node locks). Used by schedule
+    /// exploration to build the independence relation for partial-order
+    /// reduction; a no-op everywhere else. Lock-*protected* accesses
+    /// need no tagging — mutual exclusion already orders them and the
+    /// platform's lock ops are tagged by the scheduler.
+    fn touch(&self, _w: &mut Self::Worker, _lock: usize, _write: bool) {}
+
+    /// Like [`Platform::touch`] for a queue-wide access (the whole lock
+    /// arena): salvage walks, fault-plan bookkeeping — anything that
+    /// conflicts with every operation on this queue but not with other
+    /// queues.
+    fn touch_domain(&self, _w: &mut Self::Worker, _write: bool) {}
+
+    /// Like [`Platform::touch`] for cross-queue coordination state
+    /// shared by a multi-queue front (router breakers and op counters,
+    /// combiner rings): conflicts with every other `touch_shared`, on
+    /// any platform, but not with per-queue traffic.
+    fn touch_shared(&self, _w: &mut Self::Worker, _write: bool) {}
+
     /// Acquire `lock` with failure detection, when the platform has
     /// any: a watchdog-equipped platform returns [`LockFailure`] instead
     /// of blocking forever on a dead holder. The default is the plain

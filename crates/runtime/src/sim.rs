@@ -21,6 +21,11 @@ use std::sync::Arc;
 /// virtual time on every run with the same seed — stalls and delays are
 /// virtual-clock advances, and a schedule-fuzzing seed (`GpuConfig`'s
 /// `fuzz_seed`) picks which agent reaches the nth hit first.
+/// Footprint address for cross-queue front coordination state (all
+/// `touch_shared` calls map here, on every platform instance): below
+/// `gpu_sim::AGENT_BASE`, far above any realistic lock arena.
+const SHARED_TAG: u64 = 1 << 62;
+
 pub struct SimPlatform {
     base_lock: LockId,
     num_locks: usize,
@@ -104,8 +109,25 @@ impl Platform for SimPlatform {
         w.spin(self.cost.c_spin * 64);
     }
 
+    fn touch(&self, w: &mut SimWorker, lock: usize, write: bool) {
+        debug_assert!(lock < self.num_locks);
+        let addr = (self.base_lock + lock) as u64;
+        w.touch(addr, addr, write);
+    }
+
+    fn touch_domain(&self, w: &mut SimWorker, write: bool) {
+        w.touch(self.base_lock as u64, (self.base_lock + self.num_locks - 1) as u64, write);
+    }
+
+    fn touch_shared(&self, w: &mut SimWorker, write: bool) {
+        w.touch(SHARED_TAG, SHARED_TAG, write);
+    }
+
     fn inject(&self, w: &mut SimWorker, point: InjectionPoint) {
         let Some(plan) = self.faults.as_ref() else { return };
+        // The plan's per-point hit counters are shared state: every
+        // injection on this platform races every other one.
+        self.touch_domain(w, true);
         match plan.check(point) {
             None => {}
             Some(FaultAction::Panic) => {

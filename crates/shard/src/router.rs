@@ -47,6 +47,8 @@
 //! never silent.
 
 use crate::quality::{QualitySnapshot, QualityStats};
+#[cfg(any(test, feature = "mutations"))]
+use bgpq::Mutation;
 use bgpq::{Bgpq, BgpqOptions};
 use bgpq_recover::SalvageReport;
 use bgpq_runtime::Platform;
@@ -276,6 +278,12 @@ pub struct ShardedBgpq<K: KeyType, V: ValueType, P: Platform> {
     /// Number of breakers currently Open (fast path guard: zero means
     /// the per-op recovery scan is skipped entirely).
     open_shards: AtomicU64,
+    /// Verification self-test mutation (see [`bgpq::Mutation`]), copied
+    /// from the per-shard queue options so router-level mutations
+    /// ([`bgpq::Mutation::SweepDiscardsOnTrip`]) are honored at this
+    /// layer. Compiled out of production builds.
+    #[cfg(any(test, feature = "mutations"))]
+    mutation: Mutation,
 }
 
 impl<K: KeyType, V: ValueType, P: Platform> ShardedBgpq<K, V, P> {
@@ -319,7 +327,19 @@ impl<K: KeyType, V: ValueType, P: Platform> ShardedBgpq<K, V, P> {
             salvager,
             ops: AtomicU64::new(0),
             open_shards: AtomicU64::new(0),
+            #[cfg(any(test, feature = "mutations"))]
+            mutation: opts.queue.mutation,
         }
+    }
+
+    /// Access-tag the front's shared coordination state (breaker
+    /// states, in-flight tokens, the recovery op clock) for schedule
+    /// exploration: maps to [`Platform::touch_shared`], a no-op outside
+    /// the simulator. Reads conflict only with breaker transitions, so
+    /// fault-free schedules keep their cross-shard independence.
+    #[inline]
+    fn touch_front(&self, w: &mut P::Worker, write: bool) {
+        self.shards[0].platform().touch_shared(w, write);
     }
 
     pub fn num_shards(&self) -> usize {
@@ -396,6 +416,10 @@ impl<K: KeyType, V: ValueType, P: Platform> ShardedBgpq<K, V, P> {
         let (Some(rec), Some(salvager)) = (self.recovery, self.salvager) else {
             return;
         };
+        // The op clock is written by every operation: with recovery
+        // armed, front traffic is genuinely order-sensitive (which op
+        // crosses a probe deadline first matters).
+        self.touch_front(w, true);
         let now = self.ops.fetch_add(1, Ordering::Relaxed).wrapping_add(1);
         if self.open_shards.load(Ordering::Relaxed) == 0 {
             return;
@@ -432,6 +456,10 @@ impl<K: KeyType, V: ValueType, P: Platform> ShardedBgpq<K, V, P> {
         now: u64,
     ) {
         self.quality.record_probe();
+        // The whole probe mutates front state (quiesce reads, breaker
+        // transition to half-open); the salvage itself tags the shard's
+        // own lock domain through the salvager.
+        self.touch_front(w, true);
         let b = &self.breakers[i];
 
         // Quiescence: operations that passed the quarantine check just
@@ -588,6 +616,8 @@ impl<K: KeyType, V: ValueType, P: Platform> ShardedBgpq<K, V, P> {
         items: &[Entry<K, V>],
     ) -> Result<(), QueueError> {
         self.tick(w);
+        // Routing reads the breaker states; conflicts only with trips.
+        self.touch_front(w, false);
         let s = self.shards.len();
         let home = self.shard_for(affinity);
         let mut full: Option<QueueError> = None;
@@ -606,7 +636,10 @@ impl<K: KeyType, V: ValueType, P: Platform> ShardedBgpq<K, V, P> {
                     return Ok(());
                 }
                 Err(e @ QueueError::Full { .. }) => full = Some(e),
-                Err(_) => self.quarantine(i),
+                Err(_) => {
+                    self.touch_front(w, true);
+                    self.quarantine(i);
+                }
             }
         }
         Err(full.unwrap_or(QueueError::Poisoned))
@@ -642,6 +675,7 @@ impl<K: KeyType, V: ValueType, P: Platform> ShardedBgpq<K, V, P> {
         count: usize,
     ) -> Result<usize, QueueError> {
         self.tick(w);
+        self.touch_front(w, false);
         // Take the routing scratch out of the worker's slot for the
         // whole delete (the shards' own arenas are a different type in
         // the same slot). A panicking shard op drops it; the next
@@ -684,6 +718,11 @@ impl<K: KeyType, V: ValueType, P: Platform> ShardedBgpq<K, V, P> {
     ) -> Result<usize, QueueError> {
         let s = self.shards.len();
         let start = out.len();
+        // Breaker-trip snapshot for the SweepDiscardsOnTrip mutation:
+        // the mutated sweep compares against this to "notice" a trip
+        // that happened while the delete was in flight.
+        #[cfg(any(test, feature = "mutations"))]
+        let trips_at_entry = self.quarantined_count();
         let RouterScratch { live, hints, picks } = rs;
         live.clear();
         live.extend((0..s).filter(|&i| !self.is_quarantined(i)));
@@ -702,6 +741,7 @@ impl<K: KeyType, V: ValueType, P: Platform> ShardedBgpq<K, V, P> {
                     Ok(got)
                 }
                 Err(_) => {
+                    self.touch_front(w, true);
                     self.quarantine(i);
                     Err(QueueError::Poisoned)
                 }
@@ -710,9 +750,13 @@ impl<K: KeyType, V: ValueType, P: Platform> ShardedBgpq<K, V, P> {
 
         // Lock-free routing snapshot: every shard's published root-min
         // (a poisoned shard parks its hint at `u64::MAX`, but we route
-        // over the live list regardless).
+        // over the live list regardless). Each hint read races that
+        // shard's root publishes — tag it at the shard's root lock.
         hints.clear();
-        hints.extend(self.shards.iter().map(|q| q.min_hint_bits()));
+        hints.extend(self.shards.iter().map(|q| {
+            q.platform().touch(w, 0, false);
+            q.min_hint_bits()
+        }));
 
         let c = self.sample.min(live.len());
         picks.clear();
@@ -736,6 +780,21 @@ impl<K: KeyType, V: ValueType, P: Platform> ShardedBgpq<K, V, P> {
                     self.note_success(i);
                 }
                 Ok(got) => {
+                    // SweepDiscardsOnTrip: a breaker tripped while this
+                    // delete was in flight; the mutated router "rolls
+                    // back" the batch and retries from a clean miss —
+                    // but the shard already handed the keys over, so
+                    // they are silently lost (the bug the explorer's
+                    // accounting oracle must catch).
+                    #[cfg(any(test, feature = "mutations"))]
+                    if self.mutation == Mutation::SweepDiscardsOnTrip
+                        && self.quarantined_count() > trips_at_entry
+                    {
+                        out.truncate(start);
+                        clean_miss = true;
+                        self.note_success(i);
+                        continue;
+                    }
                     self.quality.record_delete(
                         hints,
                         i,
@@ -745,7 +804,10 @@ impl<K: KeyType, V: ValueType, P: Platform> ShardedBgpq<K, V, P> {
                     self.note_success(i);
                     return Ok(got);
                 }
-                Err(_) => self.quarantine(i),
+                Err(_) => {
+                    self.touch_front(w, true);
+                    self.quarantine(i);
+                }
             }
         }
 
@@ -764,11 +826,25 @@ impl<K: KeyType, V: ValueType, P: Platform> ShardedBgpq<K, V, P> {
                     self.note_success(i);
                 }
                 Ok(got) => {
+                    // See the sampled loop: the mutated exact sweep
+                    // also rolls back on an observed trip.
+                    #[cfg(any(test, feature = "mutations"))]
+                    if self.mutation == Mutation::SweepDiscardsOnTrip
+                        && self.quarantined_count() > trips_at_entry
+                    {
+                        out.truncate(start);
+                        clean_miss = true;
+                        self.note_success(i);
+                        continue;
+                    }
                     self.quality.record_delete(hints, i, out[start].key.to_ordered_bits(), true);
                     self.note_success(i);
                     return Ok(got);
                 }
-                Err(_) => self.quarantine(i),
+                Err(_) => {
+                    self.touch_front(w, true);
+                    self.quarantine(i);
+                }
             }
         }
         if clean_miss {

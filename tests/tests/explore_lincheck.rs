@@ -22,7 +22,10 @@ use std::sync::Arc;
 fn exhaustive_budget_one_key_steal_mix_is_clean() {
     for k in [4usize, 8] {
         let spec = WorkloadSpec::key_steal_mix(k);
-        let report = explore(&spec, &ExploreConfig { preemption_budget: 1, max_runs: 0 });
+        let report = explore(
+            &spec,
+            &ExploreConfig { preemption_budget: 1, max_runs: 0, ..Default::default() },
+        );
         assert!(report.exhausted, "k={k}: bounded tree must be fully enumerated");
         assert!(
             report.counterexample.is_none(),
@@ -40,7 +43,8 @@ fn exhaustive_budget_one_key_steal_mix_is_clean() {
 #[ignore = "exhaustive budget-2 tree (~8s); run by CI explore-smoke"]
 fn exhaustive_budget_two_key_steal_mix_is_clean() {
     let spec = WorkloadSpec::key_steal_mix(4);
-    let report = explore(&spec, &ExploreConfig { preemption_budget: 2, max_runs: 0 });
+    let report =
+        explore(&spec, &ExploreConfig { preemption_budget: 2, max_runs: 0, ..Default::default() });
     assert!(report.exhausted);
     assert!(report.counterexample.is_none(), "{:?}", report.counterexample);
 }
@@ -56,7 +60,8 @@ fn exhaustive_budget_two_key_steal_mix_is_clean() {
 fn marked_handoff_mutation_is_caught_shrunk_and_replayable() {
     let spec = WorkloadSpec::key_steal_mix(4).with_mutation(Mutation::MarkedHandoffEarlyAvail);
 
-    let report = explore(&spec, &ExploreConfig { preemption_budget: 2, max_runs: 0 });
+    let report =
+        explore(&spec, &ExploreConfig { preemption_budget: 2, max_runs: 0, ..Default::default() });
     let ce = report.counterexample.expect("the injected protocol bug must be caught");
     assert!(
         matches!(
@@ -97,7 +102,8 @@ fn marked_handoff_mutation_is_caught_shrunk_and_replayable() {
 #[test]
 fn mutation_needs_more_than_one_preemption() {
     let spec = WorkloadSpec::key_steal_mix(4).with_mutation(Mutation::MarkedHandoffEarlyAvail);
-    let report = explore(&spec, &ExploreConfig { preemption_budget: 1, max_runs: 0 });
+    let report =
+        explore(&spec, &ExploreConfig { preemption_budget: 1, max_runs: 0, ..Default::default() });
     assert!(report.exhausted);
     assert!(report.counterexample.is_none());
 }
@@ -125,7 +131,8 @@ fn exploration_under_injected_crash_keeps_conservation() {
         nth: 2,
         action: FaultAction::Panic,
     }]);
-    let report = explore(&spec, &ExploreConfig { preemption_budget: 1, max_runs: 0 });
+    let report =
+        explore(&spec, &ExploreConfig { preemption_budget: 1, max_runs: 0, ..Default::default() });
     assert!(report.exhausted);
     assert!(report.counterexample.is_none(), "{:?}", report.counterexample);
     // The crash actually fires on the default schedule.
@@ -144,7 +151,8 @@ fn exploration_under_stall_faults_is_clean() {
         nth: 3,
         action: FaultAction::Delay { units: 200 },
     }]);
-    let report = explore(&spec, &ExploreConfig { preemption_budget: 1, max_runs: 0 });
+    let report =
+        explore(&spec, &ExploreConfig { preemption_budget: 1, max_runs: 0, ..Default::default() });
     assert!(report.exhausted);
     assert!(report.counterexample.is_none(), "{:?}", report.counterexample);
 }
