@@ -71,6 +71,26 @@ pub struct OpStats {
     /// storage (see the `bgpq-recover` crate): the queue was reset to
     /// a fresh empty state after its surviving keys were walked out.
     pub salvages: AtomicU64,
+    /// Insertion-buffer flushes by a buffered front: a worker's staged
+    /// inserts were pushed to the backend as batches.
+    pub buffer_flushes: AtomicU64,
+    /// Items moved by insertion-buffer flushes (staged batch sizes
+    /// summed; `buffer_flush_items / buffer_flushes` is the mean flush
+    /// occupancy).
+    pub buffer_flush_items: AtomicU64,
+    /// Deletion-buffer refills by a buffered front: one wide delete-min
+    /// issued against a backend to restock a worker-local buffer.
+    pub buffer_refills: AtomicU64,
+    /// Items fetched by deletion-buffer refills
+    /// (`buffer_refill_items / buffer_refills` is the mean refill
+    /// occupancy the acceptance gates compare against `k/2`).
+    pub buffer_refill_items: AtomicU64,
+    /// Refills that reused the previously sampled shard instead of
+    /// re-sampling (sticky selection hits).
+    pub sticky_reuses: AtomicU64,
+    /// Refills that ran a fresh `c`-of-`S` sample (sticky tenure
+    /// expired, first refill, or the sticky shard went empty/dead).
+    pub sticky_resamples: AtomicU64,
     /// Batch-occupancy histogram: how full each issued batch was
     /// relative to the capacity it could have used (see
     /// [`occupancy_bucket`]). Every front that issues batches — the
@@ -121,6 +141,12 @@ impl OpStats {
             poison_events: ld(&self.poison_events),
             shard_quarantines: ld(&self.shard_quarantines),
             salvages: ld(&self.salvages),
+            buffer_flushes: ld(&self.buffer_flushes),
+            buffer_flush_items: ld(&self.buffer_flush_items),
+            buffer_refills: ld(&self.buffer_refills),
+            buffer_refill_items: ld(&self.buffer_refill_items),
+            sticky_reuses: ld(&self.sticky_reuses),
+            sticky_resamples: ld(&self.sticky_resamples),
             batch_occupancy: std::array::from_fn(|i| ld(&self.batch_occupancy[i])),
         }
     }
@@ -149,6 +175,12 @@ impl OpStats {
         fold(&self.poison_events, &other.poison_events);
         fold(&self.shard_quarantines, &other.shard_quarantines);
         fold(&self.salvages, &other.salvages);
+        fold(&self.buffer_flushes, &other.buffer_flushes);
+        fold(&self.buffer_flush_items, &other.buffer_flush_items);
+        fold(&self.buffer_refills, &other.buffer_refills);
+        fold(&self.buffer_refill_items, &other.buffer_refill_items);
+        fold(&self.sticky_reuses, &other.sticky_reuses);
+        fold(&self.sticky_resamples, &other.sticky_resamples);
         for (dst, src) in self.batch_occupancy.iter().zip(&other.batch_occupancy) {
             fold(dst, src);
         }
@@ -173,6 +205,12 @@ impl OpStats {
         st(&self.poison_events);
         st(&self.shard_quarantines);
         st(&self.salvages);
+        st(&self.buffer_flushes);
+        st(&self.buffer_flush_items);
+        st(&self.buffer_refills);
+        st(&self.buffer_refill_items);
+        st(&self.sticky_reuses);
+        st(&self.sticky_resamples);
         for b in &self.batch_occupancy {
             st(b);
         }
@@ -198,6 +236,12 @@ pub struct StatsSnapshot {
     pub poison_events: u64,
     pub shard_quarantines: u64,
     pub salvages: u64,
+    pub buffer_flushes: u64,
+    pub buffer_flush_items: u64,
+    pub buffer_refills: u64,
+    pub buffer_refill_items: u64,
+    pub sticky_reuses: u64,
+    pub sticky_resamples: u64,
     pub batch_occupancy: [u64; OCCUPANCY_BUCKETS],
 }
 
@@ -222,6 +266,12 @@ impl std::ops::Add for StatsSnapshot {
             poison_events: self.poison_events + rhs.poison_events,
             shard_quarantines: self.shard_quarantines + rhs.shard_quarantines,
             salvages: self.salvages + rhs.salvages,
+            buffer_flushes: self.buffer_flushes + rhs.buffer_flushes,
+            buffer_flush_items: self.buffer_flush_items + rhs.buffer_flush_items,
+            buffer_refills: self.buffer_refills + rhs.buffer_refills,
+            buffer_refill_items: self.buffer_refill_items + rhs.buffer_refill_items,
+            sticky_reuses: self.sticky_reuses + rhs.sticky_reuses,
+            sticky_resamples: self.sticky_resamples + rhs.sticky_resamples,
             batch_occupancy: std::array::from_fn(|i| {
                 self.batch_occupancy[i] + rhs.batch_occupancy[i]
             }),
@@ -251,6 +301,26 @@ impl StatsSnapshot {
             return 0.0;
         }
         self.deletes_from_root as f64 / self.delete_mins as f64
+    }
+
+    /// Mean items fetched per deletion-buffer refill (0.0 when no
+    /// refill ran). The buffered-front acceptance gates compare this
+    /// against `k/2`.
+    pub fn mean_refill_occupancy(&self) -> f64 {
+        if self.buffer_refills == 0 {
+            return 0.0;
+        }
+        self.buffer_refill_items as f64 / self.buffer_refills as f64
+    }
+
+    /// Fraction of shard-sourced refills that reused the sticky shard
+    /// instead of running a fresh sample (0.0 when no refill ran).
+    pub fn sticky_reuse_rate(&self) -> f64 {
+        let total = self.sticky_reuses + self.sticky_resamples;
+        if total == 0 {
+            return 0.0;
+        }
+        self.sticky_reuses as f64 / total as f64
     }
 
     /// Total batches recorded into the occupancy histogram.
@@ -314,7 +384,7 @@ mod tests {
         let a = OpStats::new();
         let b = OpStats::new();
         // Distinct primes per counter so a missed field can't cancel out.
-        fn fields(s: &OpStats) -> [(&AtomicU64, u64); 18] {
+        fn fields(s: &OpStats) -> [(&AtomicU64, u64); 24] {
             [
                 (&s.inserts, 2u64),
                 (&s.delete_mins, 3),
@@ -332,8 +402,14 @@ mod tests {
                 (&s.poison_events, 43),
                 (&s.shard_quarantines, 47),
                 (&s.salvages, 53),
-                (&s.batch_occupancy[0], 59),
-                (&s.batch_occupancy[OCCUPANCY_BUCKETS - 1], 61),
+                (&s.buffer_flushes, 59),
+                (&s.buffer_flush_items, 61),
+                (&s.buffer_refills, 67),
+                (&s.buffer_refill_items, 71),
+                (&s.sticky_reuses, 73),
+                (&s.sticky_resamples, 79),
+                (&s.batch_occupancy[0], 83),
+                (&s.batch_occupancy[OCCUPANCY_BUCKETS - 1], 89),
             ]
         }
         for (c, n) in fields(&a) {
@@ -366,6 +442,21 @@ mod tests {
         let total: StatsSnapshot = [mk(1), mk(2), mk(3)].into_iter().sum();
         assert_eq!(total.inserts, 6);
         assert_eq!(total.items_deleted, 12);
+    }
+
+    #[test]
+    fn buffer_front_rates() {
+        let snap = StatsSnapshot {
+            buffer_refills: 4,
+            buffer_refill_items: 26,
+            sticky_reuses: 3,
+            sticky_resamples: 1,
+            ..Default::default()
+        };
+        assert!((snap.mean_refill_occupancy() - 6.5).abs() < 1e-12);
+        assert!((snap.sticky_reuse_rate() - 0.75).abs() < 1e-12);
+        assert_eq!(StatsSnapshot::default().mean_refill_occupancy(), 0.0);
+        assert_eq!(StatsSnapshot::default().sticky_reuse_rate(), 0.0);
     }
 
     #[test]

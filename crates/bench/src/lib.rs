@@ -85,3 +85,53 @@ impl Scale {
         }
     }
 }
+
+/// Pinned column layout of `bench_results/shard_sweep.csv`. Downstream
+/// tooling (CI artifact diffs, EXPERIMENTS.md tables) parses this file
+/// by header name, so the layout is a compatibility surface: extend it
+/// only by appending, and update the pinned-format test alongside.
+///
+/// `mode` distinguishes the batched-op grid (`batch`) from the
+/// single-op front comparison on the simulator (`front-plain`,
+/// `front-buf`); the four trailing columns are the buffered front's
+/// counters and are zero for unbuffered rows.
+pub const SHARD_SWEEP_COLUMNS: [&str; 18] = [
+    "mode",
+    "S",
+    "c",
+    "threads",
+    "kops/s",
+    "rank_err",
+    "rank_max",
+    "bound",
+    "steals",
+    "sweeps",
+    "imbalance",
+    "salvages",
+    "readmit",
+    "keys_lost",
+    "flushes",
+    "refills",
+    "refill_occ",
+    "sticky_reuse",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The CSV layout is pinned: a change here must be deliberate and
+    /// must keep existing columns at their positions (append-only).
+    #[test]
+    fn shard_sweep_csv_format_is_pinned() {
+        assert_eq!(
+            SHARD_SWEEP_COLUMNS.join(","),
+            "mode,S,c,threads,kops/s,rank_err,rank_max,bound,steals,sweeps,imbalance,\
+             salvages,readmit,keys_lost,flushes,refills,refill_occ,sticky_reuse"
+        );
+        let grid_cols = &SHARD_SWEEP_COLUMNS[..14];
+        assert_eq!(grid_cols[0], "mode", "mode column leads");
+        assert_eq!(grid_cols[4], "kops/s", "throughput column is stable");
+        assert_eq!(SHARD_SWEEP_COLUMNS[14..], ["flushes", "refills", "refill_occ", "sticky_reuse"]);
+    }
+}

@@ -896,6 +896,48 @@ impl<K: KeyType, V: ValueType, P: Platform> Bgpq<K, V, P> {
         r
     }
 
+    /// Delete up to `count` smallest entries where `count` may exceed
+    /// the node width `k` — the partial-batch refill entry point for
+    /// buffered fronts whose deletion buffers are wider than one node.
+    ///
+    /// Issues a sequence of `≤ k`-wide linearized deletes sharing one
+    /// scratch arena, stopping early when the queue runs short. Each
+    /// inner batch commits independently: on a fault after at least one
+    /// batch delivered, the delivered entries stay appended to `out`
+    /// and `Ok(delivered)` is returned (the queue is poisoned and the
+    /// *next* call surfaces the error); `Err` is returned only when the
+    /// first batch fails, in which case nothing was appended.
+    ///
+    /// Panics only on misuse (`count == 0`).
+    pub fn try_delete_up_to(
+        &self,
+        w: &mut P::Worker,
+        out: &mut Vec<Entry<K, V>>,
+        count: usize,
+    ) -> Result<usize, QueueError> {
+        assert!(count >= 1, "delete batch must request at least one entry");
+        let k = self.opts.node_capacity;
+        let mut s = self.take_scratch(w);
+        let mut total = 0;
+        let r = loop {
+            let step = (count - total).min(k);
+            match self.try_delete_min_with(w, out, step, &mut s) {
+                Ok(0) => break Ok(total),
+                Ok(n) => {
+                    self.stats.record_batch_occupancy(n, k);
+                    total += n;
+                    if n < step || total >= count {
+                        break Ok(total);
+                    }
+                }
+                Err(e) if total == 0 => break Err(e),
+                Err(_) => break Ok(total),
+            }
+        };
+        self.put_scratch(w, s);
+        r
+    }
+
     /// [`Bgpq::delete_min`] with a caller-held arena (batched paths
     /// like [`Bgpq::drain`] and [`Bgpq::clear`] take the scratch once
     /// for many operations).

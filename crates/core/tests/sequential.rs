@@ -257,6 +257,29 @@ fn clear_empties_the_queue() {
 }
 
 #[test]
+fn delete_up_to_spans_multiple_node_batches() {
+    use bgpq_runtime::CpuWorker;
+    let q: CpuBgpq<u32, u32> = CpuBgpq::new(opts(4, 64));
+    let mut w = CpuWorker::new();
+    let keys: Vec<u32> = (0..30u32).rev().collect();
+    q.inner().insert_all(&mut w, keys.iter().map(|&k| Entry::new(k, k)));
+    let mut out = Vec::new();
+    // Wider than k: three full inner batches plus a partial one.
+    let got = q.inner().try_delete_up_to(&mut w, &mut out, 14).unwrap();
+    assert_eq!(got, 14);
+    assert_eq!(out.iter().map(|e| e.key).collect::<Vec<_>>(), (0..14).collect::<Vec<_>>());
+    // Short queue: stops early with whatever is left.
+    out.clear();
+    let got = q.inner().try_delete_up_to(&mut w, &mut out, 100).unwrap();
+    assert_eq!(got, 16);
+    assert!(q.is_empty());
+    // Empty queue: Ok(0), nothing appended.
+    out.clear();
+    assert_eq!(q.inner().try_delete_up_to(&mut w, &mut out, 9).unwrap(), 0);
+    assert!(out.is_empty());
+}
+
+#[test]
 fn capacity_accessor() {
     let q: CpuBgpq<u32, ()> = CpuBgpq::new(opts(8, 16));
     assert_eq!(q.inner().capacity_items(), 8 * 16);

@@ -1,0 +1,63 @@
+//! Per-worker buffer state for the router's buffered operating mode.
+//!
+//! One [`WorkerBuffers`] lives behind each of the router's buffer-slot
+//! mutexes. The slot's owner (the worker hashing to it) takes the lock
+//! blocking — the only contenders are harvesters and drains, whose
+//! critical sections are pure memory moves — while *foreign* access
+//! (emptiness harvests, full drains) uses `try_lock` and never performs
+//! a platform or shard call while holding someone else's slot. That
+//! discipline is what makes the blocking lock safe under the gpu-sim
+//! virtual-time scheduler: an owner never waits on a holder that is
+//! itself waiting on virtual time.
+
+use pq_api::{Entry, KeyType, ValueType};
+
+/// One worker's staged inserts and deletion buffer.
+///
+/// `ready` is kept **descending** by key so `pop()` serves the current
+/// minimum in O(1); `stage` is arrival-ordered (the flush re-batches it
+/// through the router, which sorts per node batch anyway). `tmp` is the
+/// long-lived refill/flush scratch — reused so steady-state refills
+/// allocate nothing once the vectors reach their working capacity.
+#[derive(Debug)]
+pub(crate) struct WorkerBuffers<K: KeyType, V: ValueType> {
+    /// Staged inserts, arrival order, never more than the policy's
+    /// `insert_capacity`.
+    pub(crate) stage: Vec<Entry<K, V>>,
+    /// Deletion buffer, descending by key (serve by popping the tail).
+    pub(crate) ready: Vec<Entry<K, V>>,
+    /// Refill / quiesce scratch.
+    pub(crate) tmp: Vec<Entry<K, V>>,
+    /// Sticky shard latched by the last fresh sample.
+    pub(crate) sticky: usize,
+    /// Shard-sourced refills left before the next fresh sample.
+    pub(crate) sticky_left: u32,
+}
+
+impl<K: KeyType, V: ValueType> Default for WorkerBuffers<K, V> {
+    fn default() -> Self {
+        Self { stage: Vec::new(), ready: Vec::new(), tmp: Vec::new(), sticky: 0, sticky_left: 0 }
+    }
+}
+
+impl<K: KeyType, V: ValueType> WorkerBuffers<K, V> {
+    /// Keys parked in this slot (staged inserts + deletion buffer).
+    pub(crate) fn parked(&self) -> usize {
+        self.stage.len() + self.ready.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parked_counts_both_buffers() {
+        let mut b: WorkerBuffers<u32, u32> = WorkerBuffers::default();
+        assert_eq!(b.parked(), 0);
+        b.stage.push(Entry::new(1, 1));
+        b.ready.push(Entry::new(2, 2));
+        b.ready.push(Entry::new(0, 0));
+        assert_eq!(b.parked(), 3);
+    }
+}

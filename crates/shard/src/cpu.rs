@@ -46,8 +46,18 @@ fn with_thread_rng<R>(f: impl FnOnce(&mut u64) -> R) -> R {
 /// [`ShardedBgpq`] on [`CpuPlatform`], with per-thread sticky affinity.
 /// Implements both [`BatchPriorityQueue`] (native shape) and
 /// [`PriorityQueue`] (item-at-a-time convenience).
+///
+/// With [`ShardedOptions::buffer`] set the front runs in buffered mode:
+/// every insert stages into (and every delete serves from) the calling
+/// thread's buffer slot, flushed/refilled in wide batches — see the
+/// router's module docs. Threads that stop producing should call
+/// [`CpuShardedBgpq::flush`] (or the queue's owner
+/// [`CpuShardedBgpq::quiesce_all`]) to push their staged keys down;
+/// until then the keys stay *visible* ([`CpuShardedBgpq::len`], drains
+/// and exact-emptiness sweeps all observe them) but not yet in a shard.
 pub struct CpuShardedBgpq<K: KeyType, V: ValueType> {
     inner: ShardedBgpq<K, V, CpuPlatform>,
+    buffered: bool,
 }
 
 impl<K: KeyType, V: ValueType> CpuShardedBgpq<K, V> {
@@ -59,12 +69,13 @@ impl<K: KeyType, V: ValueType> CpuShardedBgpq<K, V> {
         // so when recovery is requested the breaker gets the real
         // salvager; without it `recovery` would silently mean
         // "permanent quarantine after all".
+        let buffered = opts.buffer.is_some();
         let inner = if opts.recovery.is_some() {
             ShardedBgpq::with_platforms_recovering(platforms, opts, bgpq_recover::salvage_heap)
         } else {
             ShardedBgpq::with_platforms(platforms, opts)
         };
-        Self { inner }
+        Self { inner, buffered }
     }
 
     /// The underlying generic router (quality stats, per-shard access).
@@ -72,20 +83,56 @@ impl<K: KeyType, V: ValueType> CpuShardedBgpq<K, V> {
         &self.inner
     }
 
+    /// Whether the buffered operating mode is on.
+    pub fn buffered(&self) -> bool {
+        self.buffered
+    }
+
     /// Non-panicking insert with sticky affinity: backpressure and
-    /// shard fail-over surface as [`pq_api::QueueError`] values.
+    /// shard fail-over surface as [`pq_api::QueueError`] values. In
+    /// buffered mode the batch stages in this thread's slot.
     pub fn try_insert_batch(&self, items: &[Entry<K, V>]) -> Result<(), pq_api::QueueError> {
-        with_thread_worker(|w| self.inner.try_insert(w, worker_id(), items))
+        with_thread_worker(|w| {
+            if self.buffered {
+                self.inner.buffered_try_insert(w, worker_id(), items)
+            } else {
+                self.inner.try_insert(w, worker_id(), items)
+            }
+        })
     }
 
     /// Non-panicking relaxed delete: `Ok(0)` means every live shard was
-    /// observed empty; `Err(Poisoned)` means no live shard remains.
+    /// observed empty; `Err(Poisoned)` means no live shard remains. In
+    /// buffered mode entries serve from this thread's deletion buffer
+    /// and `Ok(0)` additionally means no reachable buffered keys
+    /// remain.
     pub fn try_delete_min_batch(
         &self,
         out: &mut Vec<Entry<K, V>>,
         count: usize,
     ) -> Result<usize, pq_api::QueueError> {
-        with_thread_worker(|w| with_thread_rng(|rng| self.inner.try_delete_min(w, rng, out, count)))
+        with_thread_worker(|w| {
+            with_thread_rng(|rng| {
+                if self.buffered {
+                    self.inner.buffered_try_delete_min(w, worker_id(), rng, out, count)
+                } else {
+                    self.inner.try_delete_min(w, rng, out, count)
+                }
+            })
+        })
+    }
+
+    /// Flush this thread's staged inserts to the shards (no-op when
+    /// unbuffered). Call when a producer goes idle.
+    pub fn flush(&self) -> Result<usize, pq_api::QueueError> {
+        with_thread_worker(|w| self.inner.flush_slot(w, worker_id()))
+    }
+
+    /// Quiesce every buffer slot: staged inserts flush and deletion
+    /// buffers return to the shards (no-op when unbuffered). Quiescent
+    /// callers only — run this after worker threads joined.
+    pub fn quiesce_all(&self) -> Result<usize, pq_api::QueueError> {
+        with_thread_worker(|w| self.inner.quiesce_all(w))
     }
 
     /// Total items across shards (inherent, so `q.len()` stays
@@ -105,11 +152,21 @@ impl<K: KeyType, V: ValueType> BatchPriorityQueue<K, V> for CpuShardedBgpq<K, V>
     }
 
     fn insert_batch(&self, items: &[Entry<K, V>]) {
-        with_thread_worker(|w| self.inner.insert(w, worker_id(), items));
+        if self.buffered {
+            self.try_insert_batch(items)
+                .unwrap_or_else(|e| panic!("sharded BGPQ insert failed: {e}"));
+        } else {
+            with_thread_worker(|w| self.inner.insert(w, worker_id(), items));
+        }
     }
 
     fn delete_min_batch(&self, out: &mut Vec<Entry<K, V>>, count: usize) -> usize {
-        with_thread_worker(|w| with_thread_rng(|rng| self.inner.delete_min(w, rng, out, count)))
+        if self.buffered {
+            self.try_delete_min_batch(out, count)
+                .unwrap_or_else(|e| panic!("sharded BGPQ delete_min failed: {e}"))
+        } else {
+            with_thread_worker(|w| with_thread_rng(|rng| self.inner.delete_min(w, rng, out, count)))
+        }
     }
 
     fn len(&self) -> usize {
@@ -161,12 +218,30 @@ pub struct ShardedBgpqFactory {
     pub sample: usize,
     /// Per-shard node capacity `k`.
     pub node_capacity: usize,
+    /// Per-worker buffering (`None` = classic unbuffered front).
+    pub buffer: Option<pq_api::BufferPolicy>,
     name: String,
 }
 
 impl ShardedBgpqFactory {
     pub fn new(shards: usize, sample: usize, node_capacity: usize) -> Self {
-        Self { shards, sample, node_capacity, name: format!("BGPQ-shard/S{shards}c{sample}") }
+        Self {
+            shards,
+            sample,
+            node_capacity,
+            buffer: None,
+            name: format!("BGPQ-shard/S{shards}c{sample}"),
+        }
+    }
+
+    /// Build queues with the buffered sticky front enabled.
+    pub fn with_buffering(mut self, policy: pq_api::BufferPolicy) -> Self {
+        self.name = format!(
+            "BGPQ-shard/S{}c{}+buf{}s{}",
+            self.shards, self.sample, policy.insert_capacity, policy.stickiness
+        );
+        self.buffer = Some(policy);
+        self
     }
 }
 
@@ -184,12 +259,16 @@ impl<K: KeyType, V: ValueType> QueueFactory<K, V> for ShardedBgpqFactory {
     }
 
     fn build(&self, capacity_hint: usize) -> CpuShardedBgpq<K, V> {
-        CpuShardedBgpq::new(ShardedOptions::with_capacity_for(
+        let mut opts = ShardedOptions::with_capacity_for(
             self.shards,
             self.sample,
             self.node_capacity,
             capacity_hint.max(1),
-        ))
+        );
+        if let Some(policy) = self.buffer {
+            opts = opts.with_buffering(policy);
+        }
+        CpuShardedBgpq::new(opts)
     }
 }
 
@@ -264,6 +343,67 @@ mod tests {
     }
 
     #[test]
+    fn buffered_concurrent_roundtrip_conserves_multiset() {
+        let policy = pq_api::BufferPolicy::new()
+            .with_insert_capacity(16)
+            .with_refill_width(16)
+            .with_stickiness(4);
+        let q = std::sync::Arc::new(CpuShardedBgpq::<u32, u32>::new(
+            ShardedOptions::new(
+                4,
+                2,
+                BgpqOptions { node_capacity: 8, max_nodes: 512, ..Default::default() },
+            )
+            .with_buffering(policy),
+        ));
+        assert!(q.buffered());
+        let popped: Vec<Vec<u32>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|t| {
+                    let q = q.clone();
+                    s.spawn(move || {
+                        let base = (t as u32) * 1000;
+                        let mut mine = Vec::new();
+                        let mut out = Vec::new();
+                        for i in 0..64u32 {
+                            q.try_insert_batch(&[Entry::new(base + i, 0)]).unwrap();
+                            if i % 4 == 3 {
+                                out.clear();
+                                let n = q.try_delete_min_batch(&mut out, 2).unwrap();
+                                mine.extend(out[..n].iter().map(|e| e.key));
+                            }
+                        }
+                        q.flush().unwrap();
+                        mine
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let taken: usize = popped.iter().map(|v| v.len()).sum();
+        assert_eq!(q.len(), 4 * 64 - taken, "parked keys count toward len");
+        q.quiesce_all().unwrap();
+        assert_eq!(q.inner().buffered_len(), 0);
+        // Drain the remainder and check the multiset survived intact.
+        let mut rest = Vec::new();
+        let mut out = Vec::new();
+        while q.try_delete_min_batch(&mut out, 8).unwrap() > 0 {
+            rest.append(&mut out);
+        }
+        let mut all: Vec<u32> = popped.into_iter().flatten().collect();
+        all.extend(rest.iter().map(|e| e.key));
+        all.sort_unstable();
+        let mut expect: Vec<u32> =
+            (0..4u32).flat_map(|t| (0..64u32).map(move |i| t * 1000 + i)).collect();
+        expect.sort_unstable();
+        assert_eq!(all, expect);
+        assert!(q.is_empty());
+        let fs = q.inner().front_stats().snapshot();
+        assert!(fs.buffer_refills > 0, "deletes must have gone through the buffer");
+        assert!(fs.buffer_flushes > 0, "flush() and capacity flushes must have fired");
+    }
+
+    #[test]
     fn factory_builds_working_queue() {
         let f = ShardedBgpqFactory::new(3, 2, 16);
         assert_eq!(<ShardedBgpqFactory as QueueFactory<u32, ()>>::name(&f), "BGPQ-shard/S3c2");
@@ -273,6 +413,21 @@ mod tests {
         let mut out = Vec::new();
         assert_eq!(q.delete_min_batch(&mut out, 1), 1);
         assert_eq!(out[0].key, 42);
+
+        let fb = ShardedBgpqFactory::new(3, 2, 16)
+            .with_buffering(pq_api::BufferPolicy::new().with_insert_capacity(8).with_stickiness(2));
+        assert_eq!(
+            <ShardedBgpqFactory as QueueFactory<u32, ()>>::name(&fb),
+            "BGPQ-shard/S3c2+buf8s2"
+        );
+        let q: CpuShardedBgpq<u32, ()> = fb.build(10_000);
+        assert!(q.buffered());
+        q.insert_batch(&[Entry::new(7u32, ())]);
+        assert_eq!(q.len(), 1, "staged key is visible");
+        out.clear();
+        assert_eq!(q.delete_min_batch(&mut out, 1), 1);
+        assert_eq!(out[0].key, 7);
+        assert!(q.is_empty());
     }
 
     #[test]

@@ -19,6 +19,14 @@
 //!   delete returned) and the router exposes per-shard load imbalance,
 //!   so the relaxation is measured, not assumed. With exact hints at
 //!   quiescence the rank error of a delete is bounded by `S - c`.
+//! * **Buffered mode** — with [`ShardedOptions::buffer`] set
+//!   ([`pq_api::BufferPolicy`]), each worker stages inserts in a
+//!   bounded per-slot buffer (flushed as k-wide batches) and serves
+//!   deletes from a local deletion buffer refilled by one wide
+//!   `delete_min` from a sticky sampled shard — the "Engineering
+//!   MultiQueues" buffering/stickiness optimizations, amortizing the
+//!   router's sampling and the shards' root locks over whole batches.
+//!   Parked keys stay visible to `len`, drains and emptiness sweeps.
 //!
 //! The router ([`ShardedBgpq`]) is generic over the same
 //! [`bgpq_runtime::Platform`] as the heap itself; [`CpuShardedBgpq`]
@@ -31,10 +39,14 @@
 //! their termination tests rely only on the exact-emptiness property
 //! the full sweep provides.
 
+mod buffer;
 pub mod cpu;
 pub mod quality;
 pub mod router;
 
 pub use cpu::{worker_id, CpuShardedBgpq, ShardedBgpqFactory};
+pub use pq_api::BufferPolicy;
 pub use quality::{QualitySnapshot, QualityStats};
-pub use router::{BreakerState, RecoveryOptions, Salvager, ShardedBgpq, ShardedOptions};
+pub use router::{
+    BreakerState, RecoveryOptions, Salvager, ShardedBgpq, ShardedOptions, DEFAULT_BUFFER_SLOTS,
+};

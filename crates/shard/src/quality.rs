@@ -51,6 +51,10 @@ pub struct QualityStats {
     /// shard would accept. Every key counted here appeared in a
     /// `SalvageReport` — loss is never silent.
     keys_lost: AtomicU64,
+    /// Keys a buffered front staged toward a home shard that was
+    /// quarantined by flush time; the flush re-routed them through the
+    /// router's redistribution path instead of dropping them.
+    buffer_reroutes: AtomicU64,
 }
 
 impl QualityStats {
@@ -66,6 +70,14 @@ impl QualityStats {
     pub fn record_delete(&self, hints: &[u64], taken: usize, first_bits: u64, stolen: bool) {
         let err =
             hints.iter().enumerate().filter(|&(i, &h)| i != taken && h < first_bits).count() as u64;
+        self.record_delete_with_error(err, stolen);
+    }
+
+    /// [`QualityStats::record_delete`] with a pre-computed rank error —
+    /// for callers (the buffered front's sticky refills) that count the
+    /// smaller-hinted shards inline instead of materializing a hint
+    /// slice.
+    pub fn record_delete_with_error(&self, err: u64, stolen: bool) {
         self.deletes.fetch_add(1, Ordering::Relaxed);
         self.rank_error_sum.fetch_add(err, Ordering::Relaxed);
         self.rank_error_max.fetch_max(err, Ordering::Relaxed);
@@ -106,6 +118,12 @@ impl QualityStats {
         self.readmissions.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Record staged keys whose home shard was quarantined at flush
+    /// time and which re-routed to live shards instead.
+    pub fn record_buffer_reroute(&self, keys: u64) {
+        self.buffer_reroutes.fetch_add(keys, Ordering::Relaxed);
+    }
+
     pub fn snapshot(&self) -> QualitySnapshot {
         QualitySnapshot {
             deletes: self.deletes.load(Ordering::Relaxed),
@@ -119,6 +137,7 @@ impl QualityStats {
             readmissions: self.readmissions.load(Ordering::Relaxed),
             keys_recovered: self.keys_recovered.load(Ordering::Relaxed),
             keys_lost: self.keys_lost.load(Ordering::Relaxed),
+            buffer_reroutes: self.buffer_reroutes.load(Ordering::Relaxed),
         }
     }
 
@@ -135,6 +154,7 @@ impl QualityStats {
         self.readmissions.store(0, Ordering::Relaxed);
         self.keys_recovered.store(0, Ordering::Relaxed);
         self.keys_lost.store(0, Ordering::Relaxed);
+        self.buffer_reroutes.store(0, Ordering::Relaxed);
     }
 }
 
@@ -152,6 +172,7 @@ pub struct QualitySnapshot {
     pub readmissions: u64,
     pub keys_recovered: u64,
     pub keys_lost: u64,
+    pub buffer_reroutes: u64,
 }
 
 impl QualitySnapshot {
@@ -208,6 +229,7 @@ mod tests {
         q.record_salvage(120, 4);
         q.record_lost(2);
         q.record_readmission();
+        q.record_buffer_reroute(16);
         let s = q.snapshot();
         assert_eq!(s.quarantines, 1);
         assert_eq!(s.probes, 2);
@@ -215,6 +237,7 @@ mod tests {
         assert_eq!(s.readmissions, 1);
         assert_eq!(s.keys_recovered, 120);
         assert_eq!(s.keys_lost, 6, "salvage loss and rebuild residue fold together");
+        assert_eq!(s.buffer_reroutes, 16);
         q.reset();
         assert_eq!(q.snapshot(), QualitySnapshot::default());
     }

@@ -45,15 +45,55 @@
 //! Key accounting is conservative and loud: every key a salvage could
 //! not recover is counted in [`QualitySnapshot::keys_lost`] — loss is
 //! never silent.
+//!
+//! ## Buffered mode: sticky batching
+//!
+//! With [`ShardedOptions::buffer`] set, the router adds a *buffered*
+//! operating mode in the style of "Engineering MultiQueues" (Williams &
+//! Sanders): each worker hashes to a buffer slot holding
+//!
+//! * an **insertion buffer** — up to `B` staged inserts, flushed to the
+//!   home shard as `k`-wide batches when full, on demand
+//!   ([`ShardedBgpq::flush_slot`]), or on quiesce;
+//! * a **deletion buffer** — restocked by one `k`-wide (or wider, see
+//!   [`pq_api::BufferPolicy::refill_width`]) sampled delete-min and then
+//!   served locally with no shared-memory traffic at all;
+//! * a **sticky shard** — the shard picked by the last fresh `c`-of-`S`
+//!   sample serves up to `σ` consecutive refills before the front
+//!   re-samples, trading bounded extra rank error for `σ×` fewer hint
+//!   scans and sampled probes.
+//!
+//! Buffered keys stay *owned by the router*: [`ShardedBgpq::len`] counts
+//! them, exact-emptiness deletes drain the caller's own stage and then
+//! harvest every other reachable slot before reporting `Ok(0)`, and
+//! [`ShardedBgpq::drain`] empties every slot. A flush whose home shard
+//! was quarantined re-routes through the ordinary redistribution path
+//! and the re-routed keys are counted in
+//! [`QualitySnapshot::buffer_reroutes`] — buffered inserts are never
+//! silently dropped by a breaker trip.
+//!
+//! **Rank-error bound (quiescent, exact hints).** An unbuffered sampled
+//! delete skips at most `S − c` shards. Buffered pops add two windows:
+//! a pop served from position `j > 1` of a refill batch can additionally
+//! be beaten by any shard whose minimum arrived after the refill was
+//! sampled, and a sticky refill skips the sample entirely — so a single
+//! buffered pop's shard-level rank error is bounded by `S − 1` (every
+//! shard except the serving one; the serving shard's remaining keys are
+//! all ≥ the buffered batch by construction). `B` and `σ` control how
+//! *often* the worst case can occur, not its magnitude: between two
+//! fresh samples at most `σ · max(refill_width, k)` pops are served from
+//! sticky or buffered state.
 
+use crate::buffer::WorkerBuffers;
 use crate::quality::{QualitySnapshot, QualityStats};
 #[cfg(any(test, feature = "mutations"))]
 use bgpq::Mutation;
 use bgpq::{Bgpq, BgpqOptions};
 use bgpq_recover::SalvageReport;
 use bgpq_runtime::Platform;
-use pq_api::{Entry, KeyType, OpStats, QueueError, ValueType};
+use pq_api::{BufferPolicy, Entry, KeyType, OpStats, QueueError, ValueType};
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicU8, Ordering};
+use std::sync::{Mutex, MutexGuard, TryLockError};
 
 /// Configuration of a [`ShardedBgpq`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -73,16 +113,47 @@ pub struct ShardedOptions {
     /// salvager (the CPU front does automatically; see
     /// [`ShardedBgpq::with_platforms_recovering`]).
     pub recovery: Option<RecoveryOptions>,
+    /// Buffered operating mode (per-worker insert/delete buffers with
+    /// sticky shard selection — see the module docs). `None` (the
+    /// default) keeps the original unbuffered front; the buffered entry
+    /// points panic on misuse when buffering is off.
+    pub buffer: Option<BufferPolicy>,
+    /// Number of per-worker buffer slots when `buffer` is set (workers
+    /// hash to `worker % buffer_slots`; more slots mean less slot
+    /// sharing, at a few empty `Vec`s of memory each).
+    pub buffer_slots: usize,
 }
+
+/// Default number of buffer slots in buffered mode.
+pub const DEFAULT_BUFFER_SLOTS: usize = 64;
 
 impl ShardedOptions {
     pub fn new(shards: usize, sample: usize, queue: BgpqOptions) -> Self {
-        Self { shards, sample, queue, recovery: None }
+        Self {
+            shards,
+            sample,
+            queue,
+            recovery: None,
+            buffer: None,
+            buffer_slots: DEFAULT_BUFFER_SLOTS,
+        }
     }
 
     /// Enable circuit-breaker recovery with the given policy.
     pub fn with_recovery(mut self, recovery: RecoveryOptions) -> Self {
         self.recovery = Some(recovery);
+        self
+    }
+
+    /// Enable the buffered operating mode with the given policy.
+    pub fn with_buffering(mut self, buffer: BufferPolicy) -> Self {
+        self.buffer = Some(buffer);
+        self
+    }
+
+    /// Override the number of buffer slots (buffered mode only).
+    pub fn with_buffer_slots(mut self, slots: usize) -> Self {
+        self.buffer_slots = slots;
         self
     }
 
@@ -92,19 +163,23 @@ impl ShardedOptions {
     /// everything to one shard, and the heap's backing array does not
     /// grow.
     pub fn with_capacity_for(shards: usize, sample: usize, k: usize, items: usize) -> Self {
-        Self { shards, sample, queue: BgpqOptions::with_capacity_for(k, items), recovery: None }
+        Self::new(shards, sample, BgpqOptions::with_capacity_for(k, items))
     }
 
     pub fn validate(&self) {
         assert!(self.shards >= 1, "need at least one shard");
         assert!(self.sample >= 1, "must sample at least one shard");
+        if let Some(b) = &self.buffer {
+            b.validate();
+            assert!(self.buffer_slots >= 1, "buffered mode needs at least one buffer slot");
+        }
         self.queue.validate();
     }
 }
 
 impl Default for ShardedOptions {
     fn default() -> Self {
-        Self { shards: 4, sample: 2, queue: BgpqOptions::default(), recovery: None }
+        Self::new(4, 2, BgpqOptions::default())
     }
 }
 
@@ -278,6 +353,22 @@ pub struct ShardedBgpq<K: KeyType, V: ValueType, P: Platform> {
     /// Number of breakers currently Open (fast path guard: zero means
     /// the per-op recovery scan is skipped entirely).
     open_shards: AtomicU64,
+    /// Buffered-mode policy; `None` leaves `buffers` empty and the
+    /// buffered entry points panicking on misuse.
+    buffer_policy: Option<BufferPolicy>,
+    /// Per-worker buffer slots (empty when unbuffered). Slot owners
+    /// lock blocking; foreign access (harvest, drain) is `try_lock`
+    /// only and never calls into a platform or shard while holding a
+    /// foreign slot — see `crate::buffer` for the lock discipline.
+    buffers: Box<[Mutex<WorkerBuffers<K, V>>]>,
+    /// Keys currently parked across all buffer slots ([`Self::len`]
+    /// counts them; updated only after a successful buffer mutation, so
+    /// a panicking shard op cannot strand the count).
+    buffered_keys: AtomicU64,
+    /// Front-level counters for the buffered mode (flushes, refills,
+    /// stickiness; shard-level traffic keeps landing in the per-shard
+    /// [`OpStats`] as before).
+    front_stats: OpStats,
     /// Verification self-test mutation (see [`bgpq::Mutation`]), copied
     /// from the per-shard queue options so router-level mutations
     /// ([`bgpq::Mutation::SweepDiscardsOnTrip`]) are honored at this
@@ -318,6 +409,8 @@ impl<K: KeyType, V: ValueType, P: Platform> ShardedBgpq<K, V, P> {
         let shards: Vec<Bgpq<K, V, P>> =
             platforms.into_iter().map(|p| Bgpq::with_platform(p, opts.queue)).collect();
         let breakers = (0..opts.shards).map(|_| Breaker::new()).collect();
+        let slots = if opts.buffer.is_some() { opts.buffer_slots } else { 0 };
+        let buffers = (0..slots).map(|_| Mutex::new(WorkerBuffers::default())).collect();
         Self {
             shards: shards.into_boxed_slice(),
             sample: opts.sample.clamp(1, opts.shards),
@@ -327,6 +420,10 @@ impl<K: KeyType, V: ValueType, P: Platform> ShardedBgpq<K, V, P> {
             salvager,
             ops: AtomicU64::new(0),
             open_shards: AtomicU64::new(0),
+            buffer_policy: opts.buffer,
+            buffers,
+            buffered_keys: AtomicU64::new(0),
+            front_stats: OpStats::new(),
             #[cfg(any(test, feature = "mutations"))]
             mutation: opts.queue.mutation,
         }
@@ -541,16 +638,40 @@ impl<K: KeyType, V: ValueType, P: Platform> ShardedBgpq<K, V, P> {
         }
     }
 
-    /// Total items across *live* shards. Exact at quiescence. A
-    /// quarantined shard's count is unreliable (it crashed mid-flight)
-    /// and its keys are unreachable, so it is excluded.
+    /// Total items across *live* shards plus keys parked in buffer
+    /// slots (buffered mode). Exact at quiescence. A quarantined
+    /// shard's count is unreliable (it crashed mid-flight) and its keys
+    /// are unreachable, so it is excluded.
     pub fn len(&self) -> usize {
         self.shards
             .iter()
             .enumerate()
             .filter(|&(i, _)| !self.is_quarantined(i))
             .map(|(_, s)| s.len())
-            .sum()
+            .sum::<usize>()
+            + self.buffered_len()
+    }
+
+    /// Keys currently parked in worker buffers (0 when unbuffered).
+    pub fn buffered_len(&self) -> usize {
+        self.buffered_keys.load(Ordering::Relaxed) as usize
+    }
+
+    /// Whether the buffered operating mode is on.
+    pub fn buffered(&self) -> bool {
+        self.buffer_policy.is_some()
+    }
+
+    /// Number of per-worker buffer slots (0 when unbuffered).
+    pub fn buffer_slots(&self) -> usize {
+        self.buffers.len()
+    }
+
+    /// Front-level counters for the buffered mode (flush / refill /
+    /// stickiness traffic; shard-level counters stay per shard, see
+    /// [`ShardedBgpq::merged_stats`]).
+    pub fn front_stats(&self) -> &OpStats {
+        &self.front_stats
     }
 
     pub fn is_empty(&self) -> bool {
@@ -666,7 +787,9 @@ impl<K: KeyType, V: ValueType, P: Platform> ShardedBgpq<K, V, P> {
     /// that fails mid-attempt is quarantined and the delete continues
     /// on the survivors. `Ok(0)` means every *live* shard was observed
     /// empty (exact at quiescence); `Err(Poisoned)` means no live shard
-    /// remains.
+    /// remains. `count` may exceed the node width `k`: the serving
+    /// shard is asked for several `≤ k`-wide linearized batches (the
+    /// buffered front's wide-refill path).
     pub fn try_delete_min(
         &self,
         w: &mut P::Worker,
@@ -681,9 +804,9 @@ impl<K: KeyType, V: ValueType, P: Platform> ShardedBgpq<K, V, P> {
         // the same slot). A panicking shard op drops it; the next
         // delete just rebuilds.
         let mut rs = self.scratch_slot(w).take::<RouterScratch>().unwrap_or_default();
-        let r = self.try_delete_min_with(w, rng, out, count, &mut rs);
+        let r = self.try_delete_min_routed(w, rng, out, count, &mut rs);
         self.scratch_slot(w).put(rs);
-        r
+        r.map(|(got, _)| got)
     }
 
     /// The worker's scratch parking spot, reached through any shard's
@@ -695,7 +818,9 @@ impl<K: KeyType, V: ValueType, P: Platform> ShardedBgpq<K, V, P> {
 
     /// A shard delete under an in-flight token, so a later salvage
     /// probe can wait this operation out (the token releases on panic
-    /// too — see [`InflightGuard`]).
+    /// too — see [`InflightGuard`]). Routed through the heap's
+    /// partial-batch entry point, so `count` may exceed the node width
+    /// `k` (buffered refills wider than one node).
     #[inline]
     fn guarded_delete(
         &self,
@@ -705,17 +830,20 @@ impl<K: KeyType, V: ValueType, P: Platform> ShardedBgpq<K, V, P> {
         count: usize,
     ) -> Result<usize, QueueError> {
         let _g = InflightGuard::enter(&self.breakers[i].inflight);
-        self.shards[i].try_delete_min(w, out, count)
+        self.shards[i].try_delete_up_to(w, out, count)
     }
 
-    fn try_delete_min_with(
+    /// The sampled/steal/sweep machinery behind [`Self::try_delete_min`].
+    /// Also reports *which* shard served the delete (when one did), so
+    /// the buffered front can latch it as the sticky shard.
+    fn try_delete_min_routed(
         &self,
         w: &mut P::Worker,
         rng: &mut u64,
         out: &mut Vec<Entry<K, V>>,
         count: usize,
         rs: &mut RouterScratch,
-    ) -> Result<usize, QueueError> {
+    ) -> Result<(usize, Option<usize>), QueueError> {
         let s = self.shards.len();
         let start = out.len();
         // Breaker-trip snapshot for the SweepDiscardsOnTrip mutation:
@@ -738,7 +866,7 @@ impl<K: KeyType, V: ValueType, P: Platform> ShardedBgpq<K, V, P> {
                         self.quality.record_delete(&[], 0, out[start].key.to_ordered_bits(), false);
                     }
                     self.note_success(i);
-                    Ok(got)
+                    Ok((got, (got > 0).then_some(i)))
                 }
                 Err(_) => {
                     self.touch_front(w, true);
@@ -802,7 +930,7 @@ impl<K: KeyType, V: ValueType, P: Platform> ShardedBgpq<K, V, P> {
                         attempt > 0,
                     );
                     self.note_success(i);
-                    return Ok(got);
+                    return Ok((got, Some(i)));
                 }
                 Err(_) => {
                     self.touch_front(w, true);
@@ -839,7 +967,7 @@ impl<K: KeyType, V: ValueType, P: Platform> ShardedBgpq<K, V, P> {
                     }
                     self.quality.record_delete(hints, i, out[start].key.to_ordered_bits(), true);
                     self.note_success(i);
-                    return Ok(got);
+                    return Ok((got, Some(i)));
                 }
                 Err(_) => {
                     self.touch_front(w, true);
@@ -848,46 +976,444 @@ impl<K: KeyType, V: ValueType, P: Platform> ShardedBgpq<K, V, P> {
             }
         }
         if clean_miss {
-            Ok(0)
+            Ok((0, None))
         } else {
             Err(QueueError::Poisoned)
         }
     }
 
-    /// Remove every item from live shards (shard by shard; the
-    /// concatenation is sorted per shard, not globally). Returns the
-    /// number drained. Quarantined shards are skipped — their contents
-    /// are unreachable by design.
-    pub fn drain(&self, w: &mut P::Worker, out: &mut Vec<Entry<K, V>>) -> usize {
-        self.shards
-            .iter()
-            .enumerate()
-            .filter(|&(i, _)| !self.is_quarantined(i))
-            .map(|(_, s)| s.drain(w, out))
-            .sum()
+    // ------------------------------------------------------------------
+    // Buffered mode (sticky batching — see the module docs)
+    // ------------------------------------------------------------------
+
+    /// The buffer slot a worker token hashes to. Panics when buffering
+    /// is off.
+    #[inline]
+    pub fn buffer_slot_for(&self, worker: usize) -> usize {
+        debug_assert!(!self.buffers.is_empty(), "buffered mode not enabled");
+        worker % self.buffers.len()
     }
 
-    /// Discard every item in live shards. Returns the number discarded.
-    pub fn clear(&self, w: &mut P::Worker) -> usize {
+    /// Lock the caller's *own* slot. Blocking is safe under the lock
+    /// discipline: the only other holders are `try_lock` harvesters and
+    /// quiescent drains, whose critical sections are pure memory moves
+    /// (no platform or shard calls). A poisoned slot (a fault-injected
+    /// panic unwound through its owner) is recovered, not propagated —
+    /// the buffers inside are always structurally valid.
+    #[inline]
+    fn lock_slot(&self, slot: usize) -> MutexGuard<'_, WorkerBuffers<K, V>> {
+        self.buffers[slot].lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Try-lock a *foreign* slot; `None` when its owner (or another
+    /// harvester) holds it — a busy owner is mid-operation, so its keys
+    /// do not count against quiescent exactness.
+    #[inline]
+    fn try_lock_slot(&self, slot: usize) -> Option<MutexGuard<'_, WorkerBuffers<K, V>>> {
+        match self.buffers[slot].try_lock() {
+            Ok(g) => Some(g),
+            Err(TryLockError::Poisoned(p)) => Some(p.into_inner()),
+            Err(TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Buffered insert: stage `items` in the worker's slot, flushing to
+    /// the shards first when staging would overflow the policy's
+    /// capacity `B`. Batches of `B` or more skip staging entirely (the
+    /// buffer exists to *assemble* batches; one that arrives pre-formed
+    /// routes directly, in `k`-wide chunks, after a flush keeps its
+    /// keys ordered around it).
+    ///
+    /// `Err` is clean: it is only returned when *none* of the new items
+    /// were accepted — the error came from flushing *previously staged*
+    /// keys, which remain staged. Once the new items start landing the
+    /// call commits: a chunk failure mid-way parks the un-inserted tail
+    /// in the stage (over capacity if need be) and still returns `Ok`,
+    /// so a retry never duplicates keys; the shards' backpressure
+    /// surfaces on the next flush instead.
+    pub fn buffered_try_insert(
+        &self,
+        w: &mut P::Worker,
+        worker: usize,
+        items: &[Entry<K, V>],
+    ) -> Result<(), QueueError> {
+        let policy = self.buffer_policy.expect("buffered mode not enabled");
+        if items.is_empty() {
+            return Ok(());
+        }
+        let slot = self.buffer_slot_for(worker);
+        let cap = policy.insert_capacity;
+        if items.len() < cap {
+            let mut b = self.lock_slot(slot);
+            if b.stage.len() + items.len() > cap {
+                self.flush_locked(w, slot, &mut b)?;
+            }
+            b.stage.extend_from_slice(items);
+            self.buffered_keys.fetch_add(items.len() as u64, Ordering::Relaxed);
+        } else {
+            let mut b = self.lock_slot(slot);
+            self.flush_locked(w, slot, &mut b)?;
+            let k = self.node_capacity();
+            let mut done = 0;
+            while done < items.len() {
+                let end = (done + k).min(items.len());
+                if self.try_insert(w, slot, &items[done..end]).is_err() {
+                    b.stage.extend_from_slice(&items[done..]);
+                    self.buffered_keys
+                        .fetch_add((items.len() - done) as u64, Ordering::Relaxed);
+                    break;
+                }
+                done = end;
+            }
+        }
+        OpStats::bump(&self.front_stats.inserts);
+        OpStats::add(&self.front_stats.items_inserted, items.len() as u64);
+        Ok(())
+    }
+
+    /// Buffered delete-min: serve up to `count` entries from the
+    /// worker's deletion buffer, refilling it with one wide sampled
+    /// delete when empty. `Ok(0)` keeps the unbuffered exactness
+    /// contract *extended to buffers*: it is returned only after every
+    /// live shard swept empty, the caller's own staged inserts were
+    /// served, and every reachable foreign slot was harvested — at
+    /// quiescence, `Ok(0)` really means the queue holds nothing.
+    ///
+    /// Entries are ascending per call (they come from one sorted
+    /// buffer).
+    pub fn buffered_try_delete_min(
+        &self,
+        w: &mut P::Worker,
+        worker: usize,
+        rng: &mut u64,
+        out: &mut Vec<Entry<K, V>>,
+        count: usize,
+    ) -> Result<usize, QueueError> {
+        let policy = self.buffer_policy.expect("buffered mode not enabled");
+        assert!(count >= 1, "delete batch must request at least one entry");
+        let slot = self.buffer_slot_for(worker);
+        let mut b = self.lock_slot(slot);
+        if b.ready.is_empty() {
+            self.refill_locked(w, slot, rng, &mut b, &policy)?;
+        }
+        let n = count.min(b.ready.len());
+        let at = b.ready.len() - n;
+        out.extend(b.ready.drain(at..).rev());
+        if n > 0 {
+            self.buffered_keys.fetch_sub(n as u64, Ordering::Relaxed);
+        }
+        OpStats::bump(&self.front_stats.delete_mins);
+        OpStats::add(&self.front_stats.items_deleted, n as u64);
+        Ok(n)
+    }
+
+    /// Restock `b.ready` (which must be empty): sticky shard first,
+    /// then a fresh sample through the full routed machinery, then —
+    /// only when every live shard swept empty — the caller's own stage
+    /// and finally a harvest of every reachable foreign slot.
+    fn refill_locked(
+        &self,
+        w: &mut P::Worker,
+        slot: usize,
+        rng: &mut u64,
+        b: &mut WorkerBuffers<K, V>,
+        policy: &BufferPolicy,
+    ) -> Result<usize, QueueError> {
+        debug_assert!(b.ready.is_empty());
+        self.tick(w);
+        let k = self.node_capacity();
+        let width = if policy.refill_width == 0 { k } else { policy.refill_width };
+        b.tmp.clear();
+
+        // Sticky reuse: skip sampling while the latched shard has
+        // tenure left and is still live. Rank error is still recorded
+        // honestly against a fresh hint scan.
+        if b.sticky_left > 0 {
+            let i = b.sticky;
+            b.sticky_left -= 1;
+            if i < self.shards.len() && !self.is_quarantined(i) {
+                OpStats::bump(&self.front_stats.sticky_reuses);
+                match self.guarded_delete(i, w, &mut b.tmp, width) {
+                    Ok(got) if got > 0 => {
+                        let first = b.tmp[0].key.to_ordered_bits();
+                        self.quality.record_delete_with_error(self.hint_error(w, i, first), false);
+                        self.note_success(i);
+                        self.commit_refill(b, got, width);
+                        return Ok(got);
+                    }
+                    Ok(_) => {
+                        // Sticky shard ran dry; fall through to a
+                        // fresh sample.
+                        b.sticky_left = 0;
+                        self.note_success(i);
+                    }
+                    Err(_) => {
+                        self.touch_front(w, true);
+                        self.quarantine(i);
+                        b.sticky_left = 0;
+                    }
+                }
+            } else {
+                b.sticky_left = 0;
+            }
+        }
+
+        OpStats::bump(&self.front_stats.sticky_resamples);
+        let mut rs = self.scratch_slot(w).take::<RouterScratch>().unwrap_or_default();
+        let routed = self.try_delete_min_routed(w, rng, &mut b.tmp, width, &mut rs);
+        self.scratch_slot(w).put(rs);
+        match routed {
+            Ok((got, src)) if got > 0 => {
+                if let Some(i) = src {
+                    b.sticky = i;
+                    b.sticky_left = policy.stickiness - 1;
+                }
+                self.commit_refill(b, got, width);
+                Ok(got)
+            }
+            Ok(_) => Ok(self.serve_parked(slot, b)),
+            // No live shard remains — but parked keys are still
+            // reachable and must win over a Poisoned verdict.
+            Err(e) => {
+                if self.serve_parked(slot, b) > 0 {
+                    Ok(b.ready.len())
+                } else {
+                    Err(e)
+                }
+            }
+        }
+    }
+
+    /// Account one shard-sourced refill and move `b.tmp` into
+    /// `b.ready` (descending, so pops serve ascending). Sorting rather
+    /// than reversing: a refill wider than `k` is several linearized
+    /// shard batches, whose concatenation need not be globally sorted
+    /// under concurrent inserts.
+    fn commit_refill(&self, b: &mut WorkerBuffers<K, V>, got: usize, width: usize) {
+        OpStats::bump(&self.front_stats.buffer_refills);
+        OpStats::add(&self.front_stats.buffer_refill_items, got as u64);
+        self.front_stats.record_batch_occupancy(got, width);
+        self.buffered_keys.fetch_add(got as u64, Ordering::Relaxed);
+        b.tmp.sort_unstable_by(|x, y| y.key.cmp(&x.key));
+        std::mem::swap(&mut b.ready, &mut b.tmp);
+        b.tmp.clear();
+    }
+
+    /// Exhausted-shards fallback: serve the caller's own staged inserts
+    /// and harvest every reachable foreign slot straight into `b.ready`
+    /// (the keys are already parked, so the global count is unchanged).
+    /// Returns how many keys became servable.
+    fn serve_parked(&self, slot: usize, b: &mut WorkerBuffers<K, V>) -> usize {
+        b.tmp.append(&mut b.stage);
+        for j in 0..self.buffers.len() {
+            if j == slot {
+                continue;
+            }
+            // Foreign slot: try_lock only, pure memory moves inside.
+            if let Some(mut fb) = self.try_lock_slot(j) {
+                b.tmp.append(&mut fb.ready);
+                b.tmp.append(&mut fb.stage);
+            }
+        }
+        if b.tmp.is_empty() {
+            return 0;
+        }
+        b.tmp.sort_unstable_by(|x, y| y.key.cmp(&x.key));
+        std::mem::swap(&mut b.ready, &mut b.tmp);
+        b.tmp.clear();
+        b.ready.len()
+    }
+
+    /// Flush the staged inserts of `b` to the shards in `k`-wide
+    /// chunks. On `Err` the *unflushed* keys remain staged (the flushed
+    /// prefix is committed) — a failed flush never loses keys. Keys
+    /// whose home shard is quarantined re-route through
+    /// [`Self::try_insert`]'s redistribution and are counted in
+    /// [`QualitySnapshot::buffer_reroutes`].
+    fn flush_locked(
+        &self,
+        w: &mut P::Worker,
+        slot: usize,
+        b: &mut WorkerBuffers<K, V>,
+    ) -> Result<usize, QueueError> {
+        let total = b.stage.len();
+        if total == 0 {
+            return Ok(0);
+        }
+        if self.is_quarantined(self.shard_for(slot)) {
+            self.quality.record_buffer_reroute(total as u64);
+        }
+        let k = self.node_capacity();
+        let cap = self.buffer_policy.map_or(k, |p| p.insert_capacity);
+        let mut done = 0;
+        let r = loop {
+            if done >= total {
+                break Ok(());
+            }
+            let end = (done + k).min(total);
+            match self.try_insert(w, slot, &b.stage[done..end]) {
+                Ok(()) => done = end,
+                Err(e) => break Err(e),
+            }
+        };
+        b.stage.drain(..done);
+        self.buffered_keys.fetch_sub(done as u64, Ordering::Relaxed);
+        if done > 0 {
+            OpStats::bump(&self.front_stats.buffer_flushes);
+            OpStats::add(&self.front_stats.buffer_flush_items, done as u64);
+            self.front_stats.record_batch_occupancy(done.min(cap), cap);
+        }
+        r.map(|()| done)
+    }
+
+    /// Shard-level rank error of a delete served by shard `taken`
+    /// whose smallest key has ordered bits `first`: how many *other*
+    /// shards currently hint a smaller minimum. Same tagging as the
+    /// sampled path's hint snapshot.
+    fn hint_error(&self, w: &mut P::Worker, taken: usize, first: u64) -> u64 {
         self.shards
             .iter()
             .enumerate()
-            .filter(|&(i, _)| !self.is_quarantined(i))
-            .map(|(_, s)| s.clear(w))
-            .sum()
+            .filter(|&(j, q)| {
+                j != taken && {
+                    q.platform().touch(w, 0, false);
+                    q.min_hint_bits() < first
+                }
+            })
+            .count() as u64
+    }
+
+    /// Flush one worker's staged inserts to the shards (deletion-buffer
+    /// keys stay put — they were already removed from the shards). No-op
+    /// when unbuffered.
+    pub fn flush_slot(&self, w: &mut P::Worker, worker: usize) -> Result<usize, QueueError> {
+        if self.buffers.is_empty() {
+            return Ok(0);
+        }
+        let slot = self.buffer_slot_for(worker);
+        let mut b = self.lock_slot(slot);
+        self.flush_locked(w, slot, &mut b)
+    }
+
+    /// Fully quiesce one worker's slot: flush staged inserts *and*
+    /// return deletion-buffer keys to the shards, leaving the slot
+    /// empty. On `Err` unreturned keys remain parked (never lost).
+    /// No-op when unbuffered. Returns keys moved back to the shards.
+    pub fn quiesce_slot(&self, w: &mut P::Worker, worker: usize) -> Result<usize, QueueError> {
+        if self.buffers.is_empty() {
+            return Ok(0);
+        }
+        let slot = self.buffer_slot_for(worker);
+        let mut b = self.lock_slot(slot);
+        let mut moved = self.flush_locked(w, slot, &mut b)?;
+        if !b.ready.is_empty() {
+            // Reinsert ascending so the home shard sees sorted batches.
+            b.tmp.clear();
+            while let Some(e) = b.ready.pop() {
+                b.tmp.push(e);
+            }
+            let total = b.tmp.len();
+            let k = self.node_capacity();
+            let mut done = 0;
+            while done < total {
+                let end = (done + k).min(total);
+                if let Err(e) = self.try_insert(w, slot, &b.tmp[done..end]) {
+                    // Park the remainder back (descending), no loss.
+                    let rest = b.tmp.split_off(done);
+                    b.ready.extend(rest.into_iter().rev());
+                    b.tmp.clear();
+                    self.buffered_keys.fetch_sub(done as u64, Ordering::Relaxed);
+                    return Err(e);
+                }
+                done = end;
+            }
+            b.tmp.clear();
+            self.buffered_keys.fetch_sub(total as u64, Ordering::Relaxed);
+            moved += total;
+        }
+        Ok(moved)
+    }
+
+    /// Quiesce every slot (drains and benches; quiescent callers).
+    pub fn quiesce_all(&self, w: &mut P::Worker) -> Result<usize, QueueError> {
+        let mut moved = 0;
+        for slot in 0..self.buffers.len() {
+            moved += self.quiesce_slot(w, slot)?;
+        }
+        Ok(moved)
+    }
+
+    /// Remove every item from live shards and buffer slots (shard by
+    /// shard; the concatenation is sorted per shard / per slot, not
+    /// globally). Returns the number drained. Quarantined shards are
+    /// skipped — their contents are unreachable by design. Quiescent
+    /// callers only in buffered mode (slot locks are taken blocking).
+    pub fn drain(&self, w: &mut P::Worker, out: &mut Vec<Entry<K, V>>) -> usize {
+        let parked = self.drain_buffers(out, true);
+        parked
+            + self
+                .shards
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| !self.is_quarantined(i))
+                .map(|(_, s)| s.drain(w, out))
+                .sum::<usize>()
+    }
+
+    /// Discard every item in live shards and buffer slots. Returns the
+    /// number discarded.
+    pub fn clear(&self, w: &mut P::Worker) -> usize {
+        let parked = self.drain_buffers(&mut Vec::new(), false);
+        parked
+            + self
+                .shards
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| !self.is_quarantined(i))
+                .map(|(_, s)| s.clear(w))
+                .sum::<usize>()
+    }
+
+    /// Empty every buffer slot, appending (when `keep`) each slot's
+    /// keys to `out` in ascending key order per slot.
+    fn drain_buffers(&self, out: &mut Vec<Entry<K, V>>, keep: bool) -> usize {
+        let mut total = 0;
+        for slot in 0..self.buffers.len() {
+            let mut b = self.lock_slot(slot);
+            let n = b.parked();
+            if n == 0 {
+                continue;
+            }
+            if keep {
+                let start = out.len();
+                out.extend(b.ready.drain(..).rev());
+                out.append(&mut b.stage);
+                out[start..].sort_unstable_by_key(|e| e.key);
+            } else {
+                b.ready.clear();
+                b.stage.clear();
+            }
+            total += n;
+        }
+        if total > 0 {
+            self.buffered_keys.fetch_sub(total as u64, Ordering::Relaxed);
+        }
+        total
     }
 
     /// Check every live shard's heap invariants (quiescent callers
-    /// only). Returns the total item count. Quarantined shards are
-    /// skipped: a crashed shard's invariants are void (that is why it
-    /// was quarantined).
+    /// only). Returns the total item count including buffered keys, so
+    /// it stays comparable to [`ShardedBgpq::len`]. Quarantined shards
+    /// are skipped: a crashed shard's invariants are void (that is why
+    /// it was quarantined).
     pub fn check_invariants(&self) -> usize {
         self.shards
             .iter()
             .enumerate()
             .filter(|&(i, _)| !self.is_quarantined(i))
             .map(|(_, s)| s.check_invariants())
-            .sum()
+            .sum::<usize>()
+            + self.buffered_len()
     }
 }
 
@@ -1208,5 +1734,198 @@ mod tests {
         assert_eq!(total.inserts, 4);
         assert_eq!(total.items_inserted, 8);
         assert!((q.load_imbalance() - 1.0).abs() < 1e-12, "even affinity = balanced");
+    }
+
+    fn buffered(
+        s: usize,
+        c: usize,
+        k: usize,
+        policy: pq_api::BufferPolicy,
+    ) -> ShardedBgpq<u32, u32, CpuPlatform> {
+        let queue = BgpqOptions { node_capacity: k, max_nodes: 256, ..Default::default() };
+        let platforms = (0..s).map(|_| CpuPlatform::new(queue.max_nodes + 1)).collect();
+        ShardedBgpq::with_platforms(
+            platforms,
+            ShardedOptions::new(s, c, queue).with_buffering(policy),
+        )
+    }
+
+    #[test]
+    fn buffered_insert_stages_until_capacity_then_flushes() {
+        let policy = pq_api::BufferPolicy::new().with_insert_capacity(4);
+        let q = buffered(2, 1, 4, policy);
+        let mut w = CpuWorker::new();
+        for i in 0..3u32 {
+            q.buffered_try_insert(&mut w, 0, &[Entry::new(i, i)]).unwrap();
+        }
+        // Three keys parked in the slot, none in a shard yet — but all
+        // three visible through len().
+        assert_eq!(q.buffered_len(), 3);
+        assert_eq!(q.shard(0).len() + q.shard(1).len(), 0);
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.front_stats().snapshot().buffer_flushes, 0);
+
+        // The 4th and 5th key would overflow capacity 4: the slot
+        // flushes its 3 staged keys down first, then stages the rest.
+        q.buffered_try_insert(&mut w, 0, &[Entry::new(3, 3), Entry::new(4, 4)]).unwrap();
+        let fs = q.front_stats().snapshot();
+        assert_eq!(fs.buffer_flushes, 1);
+        assert_eq!(fs.buffer_flush_items, 3);
+        assert_eq!(q.buffered_len(), 2);
+        assert_eq!(q.len(), 5);
+
+        // An over-capacity batch bypasses the stage entirely (after
+        // flushing what was parked).
+        let big: Vec<Entry<u32, u32>> = (10..20u32).map(|i| Entry::new(i, i)).collect();
+        q.buffered_try_insert(&mut w, 0, &big).unwrap();
+        assert_eq!(q.buffered_len(), 0, "wide batches go straight to the shard");
+        assert_eq!(q.len(), 15);
+        assert_eq!(q.check_invariants(), 15);
+    }
+
+    #[test]
+    fn buffered_delete_refills_wide_and_serves_locally() {
+        let policy =
+            pq_api::BufferPolicy::new().with_insert_capacity(8).with_refill_width(8).with_stickiness(4);
+        let q = buffered(2, 2, 4, policy);
+        let mut w = CpuWorker::new();
+        let mut rng = 11u64;
+        let items: Vec<Entry<u32, u32>> = (0..16u32).map(|i| Entry::new(i, i)).collect();
+        for chunk in items[..8].chunks(4) {
+            q.try_insert(&mut w, 0, chunk).unwrap();
+        }
+        for chunk in items[8..].chunks(4) {
+            q.try_insert(&mut w, 1, chunk).unwrap();
+        }
+
+        let mut out = Vec::new();
+        // First pop triggers one 8-wide refill (two k=4 batches from
+        // the best shard), then serves 1 from the local buffer.
+        assert_eq!(q.buffered_try_delete_min(&mut w, 0, &mut rng, &mut out, 1).unwrap(), 1);
+        assert_eq!(out[0].key, 0, "quiescent single-worker pop is exact");
+        let fs = q.front_stats().snapshot();
+        assert_eq!(fs.buffer_refills, 1);
+        assert_eq!(fs.buffer_refill_items, 8);
+        assert!((fs.mean_refill_occupancy() - 8.0).abs() < 1e-12);
+        assert_eq!(q.buffered_len(), 7);
+
+        // The next 7 pops serve from the buffer with no new refill.
+        for want in 1..8u32 {
+            out.clear();
+            assert_eq!(q.buffered_try_delete_min(&mut w, 0, &mut rng, &mut out, 1).unwrap(), 1);
+            assert_eq!(out[0].key, want);
+        }
+        assert_eq!(q.front_stats().snapshot().buffer_refills, 1);
+
+        // Drain the rest; emptiness is exact even through the buffer.
+        out.clear();
+        let mut got = 8;
+        while q.buffered_try_delete_min(&mut w, 0, &mut rng, &mut out, 4).unwrap() > 0 {
+            got = 8 + out.len();
+        }
+        assert_eq!(got, 16);
+        assert!(q.is_empty());
+        assert_eq!(q.check_invariants(), 0);
+    }
+
+    #[test]
+    fn sticky_tenure_counts_reuses_and_resamples() {
+        let policy =
+            pq_api::BufferPolicy::new().with_insert_capacity(8).with_refill_width(2).with_stickiness(3);
+        let q = buffered(2, 1, 2, policy);
+        let mut w = CpuWorker::new();
+        let mut rng = 5u64;
+        let items: Vec<Entry<u32, u32>> = (0..24u32).map(|i| Entry::new(i, i)).collect();
+        for chunk in items[..12].chunks(2) {
+            q.try_insert(&mut w, 0, chunk).unwrap();
+        }
+        for chunk in items[12..].chunks(2) {
+            q.try_insert(&mut w, 1, chunk).unwrap();
+        }
+
+        // 12 pops = 6 refills of width 2: sample, reuse, reuse, sample,
+        // reuse, reuse under stickiness 3.
+        let mut out = Vec::new();
+        for _ in 0..12 {
+            out.clear();
+            assert_eq!(q.buffered_try_delete_min(&mut w, 0, &mut rng, &mut out, 1).unwrap(), 1);
+        }
+        let fs = q.front_stats().snapshot();
+        assert_eq!(fs.buffer_refills, 6);
+        assert_eq!(fs.sticky_resamples, 2);
+        assert_eq!(fs.sticky_reuses, 4);
+        assert!((fs.sticky_reuse_rate() - 4.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parked_keys_are_reachable_from_other_slots_and_drains() {
+        let policy = pq_api::BufferPolicy::new().with_insert_capacity(16).with_refill_width(4);
+        let q = buffered(2, 1, 4, policy);
+        let mut w = CpuWorker::new();
+        let mut rng = 9u64;
+
+        // Worker 0 stages 3 keys and walks away without flushing.
+        q.buffered_try_insert(&mut w, 0, &[Entry::new(5u32, 5), Entry::new(1, 1), Entry::new(3, 3)])
+            .unwrap();
+        assert_eq!(q.buffered_len(), 3);
+        assert!(!q.is_empty(), "parked keys must keep the queue non-empty");
+
+        // Worker 1 (a different slot) finds the shards empty, harvests
+        // the parked keys, and serves them in order.
+        let mut out = Vec::new();
+        assert_eq!(q.buffered_try_delete_min(&mut w, 1, &mut rng, &mut out, 2).unwrap(), 2);
+        assert_eq!(out.iter().map(|e| e.key).collect::<Vec<_>>(), vec![1, 3]);
+
+        // The last harvested key sits in worker 1's deletion buffer
+        // now; a drain must still find it.
+        let mut rest = Vec::new();
+        q.drain(&mut w, &mut rest);
+        assert_eq!(rest.iter().map(|e| e.key).collect::<Vec<_>>(), vec![5]);
+        assert!(q.is_empty());
+        assert_eq!(q.buffered_len(), 0);
+        assert_eq!(q.check_invariants(), 0);
+    }
+
+    #[test]
+    fn quiesce_returns_every_parked_key_to_the_shards() {
+        let policy = pq_api::BufferPolicy::new().with_insert_capacity(16).with_refill_width(4);
+        let q = buffered(3, 2, 4, policy);
+        let mut w = CpuWorker::new();
+        let mut rng = 13u64;
+
+        let items: Vec<Entry<u32, u32>> = (0..12u32).map(|i| Entry::new(i, i)).collect();
+        for chunk in items.chunks(4) {
+            q.try_insert(&mut w, 0, chunk).unwrap();
+        }
+        // Stage some inserts and pull a refill into a deletion buffer.
+        q.buffered_try_insert(&mut w, 1, &[Entry::new(50u32, 50), Entry::new(51, 51)]).unwrap();
+        let mut out = Vec::new();
+        q.buffered_try_delete_min(&mut w, 2, &mut rng, &mut out, 1).unwrap();
+        assert!(q.buffered_len() > 0);
+
+        let moved = q.quiesce_all(&mut w).unwrap();
+        assert!(moved > 0);
+        assert_eq!(q.buffered_len(), 0, "quiesce leaves nothing parked");
+        let shard_total: usize = (0..3).map(|i| q.shard(i).len()).sum();
+        assert_eq!(shard_total, q.len());
+        assert_eq!(q.len(), 13, "12 + 2 staged - 1 popped");
+        assert_eq!(q.check_invariants(), 13);
+    }
+
+    #[test]
+    fn buffered_flush_reroutes_around_quarantine() {
+        let policy = pq_api::BufferPolicy::new().with_insert_capacity(8).with_refill_width(4);
+        let q = buffered(2, 1, 4, policy);
+        let mut w = CpuWorker::new();
+
+        // Slot 0's home shard is shard 0; park keys, then quarantine it
+        // out from under the buffer.
+        q.buffered_try_insert(&mut w, 0, &[Entry::new(1u32, 1), Entry::new(2, 2)]).unwrap();
+        q.quarantine(0);
+        assert_eq!(q.flush_slot(&mut w, 0).unwrap(), 2);
+        assert_eq!(q.buffered_len(), 0);
+        assert_eq!(q.shard(1).len(), 2, "staged keys re-routed to the survivor");
+        assert_eq!(q.quality().buffer_reroutes, 2);
+        assert_eq!(q.len(), 2, "zero silent loss");
     }
 }
